@@ -1,0 +1,40 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``test_eNN_*`` module reproduces one table/figure/claim from the
+paper (see DESIGN.md's experiment index).  Benchmarks run the simulation
+inside the ``benchmark`` fixture (one round -- the interesting output is
+virtual-time measurements, not wall time), print the paper-style table,
+and *assert the qualitative shape* the paper claims, so a regression in
+any mechanism model fails the reproduction.
+
+Rendered outputs are also written to ``benchmarks/results/`` for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> str:
+    """Print and persist one experiment's rendered output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

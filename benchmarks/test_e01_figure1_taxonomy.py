@@ -1,0 +1,61 @@
+"""E1 -- Figure 1: the taxonomy of checkpoint/restart implementations.
+
+Regenerates the figure's tree from the live mechanism registry (the
+figure is *derived from the code*).  The surveyed-only rendering matches
+the paper's Figure 1; the full rendering additionally places this
+repository's direction-forward design.
+"""
+
+from __future__ import annotations
+
+import repro.mechanisms  # noqa: F401 -- populate the registry
+import repro.core.direction  # noqa: F401
+from repro.core import registry
+from repro.core.taxonomy import Agent, Context, render_figure1
+
+from conftest import report
+
+
+def build_figure():
+    surveyed = render_figure1(registry.positions(surveyed_only=True))
+    full = render_figure1(
+        registry.positions(surveyed_only=False),
+        title="Figure 1 (extended): including this repository's direction-forward design.",
+    )
+    return surveyed, full
+
+
+def test_e01_figure1(run_once):
+    surveyed, full = run_once(build_figure)
+    report("e01_figure1", surveyed + "\n\n" + full)
+
+    # The paper's two contexts and their subsystems all appear.
+    for label in (
+        "user-level",
+        "system-level",
+        "operating system",
+        "hardware",
+        "system call",
+        "kernel-mode signal handler",
+        "kernel thread",
+        "LD_PRELOAD",
+        "pre-compiler",
+        "directory controller",
+        "processor cache",
+    ):
+        assert label in surveyed
+
+    # Representative mechanisms sit in the paper's slots.
+    positions = dict(registry.positions())
+    assert positions["VMADump"].agent == Agent.OS_SYSTEM_CALL
+    assert positions["CHPOX"].agent == Agent.OS_KERNEL_SIGNAL
+    assert positions["CRAK"].agent == Agent.OS_KERNEL_THREAD
+    assert positions["BLCR"].agent == Agent.OS_KERNEL_THREAD
+    assert positions["ReVive"].agent == Agent.HW_DIRECTORY_CONTROLLER
+    assert positions["SafetyNet"].agent == Agent.HW_CACHE
+    assert positions["libckpt"].context == Context.USER_LEVEL
+    assert positions["CCIFT"].agent == Agent.PRECOMPILER
+
+    # The direction-forward design appears only in the extended view.
+    assert "AutonomicCkpt" not in surveyed
+    assert "AutonomicCkpt" in full

@@ -1,0 +1,109 @@
+"""E11 -- kernel-persistent state across restart: who can recreate it.
+
+Paper, Section 3: "user-level implementations are limited to
+applications that do not depend o[n] some persistent state belonging to
+the operating system, per example sockets, shared memory, PIDs, and IP
+address.  In contrast, a system-level approach can virtualizate these
+resources allowing [them] to be checkpointed and then recreated ... in a
+different machine totally transparent to the application" (ZAP's pod);
+UCLiK adds same-machine PID restoration.
+"""
+
+from __future__ import annotations
+
+from repro.core.checkpointer import RequestState
+from repro.errors import IncompatibleStateError
+from repro.mechanisms import CRAK, Condor, UCLiK, ZAP
+from repro.simkernel import Kernel
+from repro.simkernel.costs import NS_PER_MS
+from repro.storage import LocalDiskStorage, NullStorage, RemoteStorage
+from repro.workloads import SharedMemoryApp, SocketApp
+from repro.reporting import render_table
+
+from conftest import report
+
+
+def run_case(mech_key, app_key, cross_node):
+    k1 = Kernel(ncpus=2, seed=11, node_id=0)
+    k2 = Kernel(ncpus=2, seed=12, node_id=1)
+    mech = {
+        "Condor (user level)": lambda: Condor(k1, RemoteStorage()),
+        "CRAK (system, no virtualization)": lambda: CRAK(k1, RemoteStorage()),
+        "ZAP (pod virtualization)": lambda: ZAP(k1, NullStorage()),
+        "UCLiK (PID restore, local)": lambda: UCLiK(k1, LocalDiskStorage(0)),
+    }[mech_key]()
+    wl = {
+        "socket": SocketApp(iterations=10**6, compute_ns=100_000),
+        "shm": SharedMemoryApp(iterations=10**6, compute_ns=100_000),
+    }[app_key]
+    t = wl.spawn(k1)
+    mech.prepare_target(t)
+    k1.run_for(5 * NS_PER_MS)
+    req = mech.request_checkpoint(t)
+    k1.start()
+    k1.engine.run(
+        until_ns=k1.engine.now_ns + 10**12,
+        until=lambda: req.state == RequestState.DONE,
+    )
+    assert req.state == RequestState.DONE, req.error
+    # The original process dies with its node; resources free up locally.
+    k1.stop_task(t)
+    k1._exit_task(t, code=-1)
+    k1.reap(t)  # the zombie would otherwise still occupy its pid
+    if app_key == "socket":
+        k1.ports_in_use.discard(wl.local_port)
+    target_kernel = k2 if cross_node else k1
+    try:
+        res = mech.restart(req.key, target_kernel=target_kernel)
+        pid_kept = res.task.pid == req.image.pid
+        return ("restored", pid_kept)
+    except IncompatibleStateError:
+        return ("FAILED: kernel state", False)
+
+
+def measure():
+    rows = []
+    cases = [
+        ("Condor (user level)", "socket", True),
+        ("CRAK (system, no virtualization)", "socket", True),
+        ("ZAP (pod virtualization)", "socket", True),
+        ("Condor (user level)", "shm", True),
+        ("ZAP (pod virtualization)", "shm", True),
+        ("UCLiK (PID restore, local)", "socket", False),
+        ("CRAK (system, no virtualization)", "socket", False),
+    ]
+    for mech_key, app_key, cross in cases:
+        outcome, pid_kept = run_case(mech_key, app_key, cross)
+        rows.append(
+            (
+                mech_key,
+                app_key,
+                "other node" if cross else "same node",
+                outcome,
+                "yes" if pid_kept else "no",
+            )
+        )
+    return rows
+
+
+def test_e11_virtualization(run_once):
+    rows = run_once(measure)
+    text = render_table(
+        ["mechanism", "kernel state held", "restart on", "outcome", "original PID kept"],
+        rows,
+        title="E11. Restart with kernel-persistent state (sockets, SysV shm, PIDs).",
+    )
+    report("e11_virtualization", text)
+
+    d = {(r[0], r[1], r[2]): (r[3], r[4]) for r in rows}
+    # Cross-machine restores of kernel state fail without virtualization.
+    assert d[("Condor (user level)", "socket", "other node")][0].startswith("FAILED")
+    assert d[("CRAK (system, no virtualization)", "socket", "other node")][0].startswith("FAILED")
+    assert d[("Condor (user level)", "shm", "other node")][0].startswith("FAILED")
+    # ZAP's pod recreates both resource kinds transparently.
+    assert d[("ZAP (pod virtualization)", "socket", "other node")][0] == "restored"
+    assert d[("ZAP (pod virtualization)", "shm", "other node")][0] == "restored"
+    # Same-node restores work when the resources freed up; UCLiK also
+    # brings the original PID back, plain CRAK does not guarantee it.
+    assert d[("UCLiK (PID restore, local)", "socket", "same node")] == ("restored", "yes")
+    assert d[("CRAK (system, no virtualization)", "socket", "same node")][0] == "restored"

@@ -1,0 +1,107 @@
+"""E12 -- MTBF vs machine size: why fault tolerance became critical.
+
+Paper, Section 1: "because of the extraordinarily large component count
+of such machines -- for instance, the IBM BlueGene/L supercomputer ...
+will have 65,536 nodes -- their mean time between failures (MTBF) may be
+orders of magnitude shorter than the execution times of the applications
+they are intended to run ... it is all-too-common practice to run an
+application, or a part of it, many times to achieve one successful
+completion."
+
+Analytic table across machine sizes, cross-validated against the
+discrete-event cluster at a simulable scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis import expected_time_without_ckpt_s, mtbf_table
+from repro.cluster import Cluster, ExponentialFailures, system_mtbf_s
+from repro.simkernel.costs import NS_PER_S
+from repro.reporting import render_table
+
+from conftest import report
+
+NODE_MTBF_H = 100_000.0  # an optimistic 11-year node MTBF
+SIZES = [1, 64, 1024, 8192, 65_536]
+JOB_DAYS = 7.0
+
+
+def analytic_rows():
+    rows = []
+    for r in mtbf_table(NODE_MTBF_H, SIZES):
+        week_s = JOB_DAYS * 86_400
+        exp_scratch = expected_time_without_ckpt_s(
+            week_s, NODE_MTBF_H * 3600, r.n_nodes
+        )
+        rows.append(
+            (
+                r.n_nodes,
+                round(r.system_mtbf_h, 2),
+                round(r.p_complete_1d, 4),
+                (
+                    "inf"
+                    if math.isinf(r.expected_attempts_1d)
+                    else round(r.expected_attempts_1d, 2)
+                ),
+                round(exp_scratch / week_s, 2),
+            )
+        )
+    return rows
+
+
+def simulated_system_mtbf(n_nodes=64, node_mtbf_s=50.0, n_trials=300):
+    """Measure time-to-first-failure over many failure-injection trials."""
+    rng = np.random.default_rng(12)
+    ttfs = []
+    for _ in range(n_trials):
+        model = ExponentialFailures(node_mtbf_s, rng=rng)
+        ttfs.append(min(model.draws(n_nodes)))
+    return float(np.mean(ttfs))
+
+
+def measure():
+    rows = analytic_rows()
+    sim_mtbf = simulated_system_mtbf()
+    return rows, sim_mtbf
+
+
+def test_e12_mtbf_scaling(run_once):
+    rows, sim_mtbf = run_once(measure)
+    text = render_table(
+        [
+            "nodes",
+            "system MTBF (h)",
+            "P(1-day job survives)",
+            "expected attempts (1-day job)",
+            "E[time]/ideal (1-week job)",
+        ],
+        rows,
+        title=f"E12. Failure scaling with machine size (node MTBF {NODE_MTBF_H:.0f} h).",
+    )
+    analytic = system_mtbf_s(50.0, 64)
+    text += (
+        f"\n\nCross-validation: 64 nodes x 50 s node-MTBF -> measured system "
+        f"MTBF {sim_mtbf:.3f} s vs analytic {analytic:.3f} s."
+    )
+    report("e12_mtbf_scaling", text)
+
+    by_n = {r[0]: r for r in rows}
+    # System MTBF falls inversely with node count: at BlueGene/L scale a
+    # 11-year node MTBF yields a machine MTBF of ~1.5 hours -- orders of
+    # magnitude below day/week application runtimes.
+    assert by_n[1][1] > 99_000
+    assert by_n[65_536][1] < 2.0
+    # A single node virtually always finishes a 1-day job...
+    assert by_n[1][2] > 0.999
+    # ...while at full scale the job almost never survives and the
+    # expected number of scratch attempts explodes.
+    assert by_n[65_536][2] < 0.001
+    assert by_n[65_536][3] == "inf" or by_n[65_536][3] > 100
+    # A week-long job's expected scratch completion time is absurd.
+    assert by_n[65_536][4] > 100
+    # The discrete-event cluster agrees with the analytic MTBF within 10%.
+    assert abs(sim_mtbf - analytic) / analytic < 0.10

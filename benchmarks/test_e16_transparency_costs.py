@@ -1,0 +1,94 @@
+"""E16 -- what non-transparency costs in practice.
+
+Paper: EPCKPT applications "must be launch[ed] via one of [its] tool[s]
+... thus incurring undesirable overhead"; "BLCR needs a[n]
+initialization phase to register a signal handler ... and also requires
+to load a shared library, hence it is not totally transparent"; the
+user-level libraries require relinking and pay handler machinery at
+every checkpoint.  CRAK-style mechanisms need none of it.
+"""
+
+from __future__ import annotations
+
+from repro.mechanisms import BLCR, CRAK, Condor, EPCKPT
+from repro.simkernel import Kernel, ops
+from repro.storage import LocalDiskStorage, RemoteStorage
+from repro.reporting import render_table
+
+from conftest import report
+
+N_CALLS = 300
+
+
+def syscall_app(task, step):
+    def gen():
+        for i in range(N_CALLS):
+            yield ops.Syscall(name="open", args=(f"/tmp/e16-{i}", True))
+        yield ops.Exit(code=0)
+
+    return gen()
+
+
+def measure():
+    rows = []
+
+    def runtime_with(prepare):
+        k = Kernel(seed=16)
+        mechs = {
+            "EPCKPT": EPCKPT(k, LocalDiskStorage(0)),
+            "BLCR": BLCR(k, RemoteStorage()),
+            "CRAK": CRAK(k, RemoteStorage()),
+            "Condor": Condor(k, RemoteStorage()),
+        }
+        t = k.spawn_process("app", syscall_app)
+        prepare(t, mechs)
+        k.run_until_exit(t, limit_ns=10**13)
+        return t.acct.cpu_ns, t
+
+    base, _ = runtime_with(lambda t, m: None)
+
+    ep, _ = runtime_with(lambda t, m: m["EPCKPT"].prepare_target(t))
+    rows.append(
+        ("EPCKPT", "launcher tool", f"{(ep - base) / base * 100:.1f}%", 0, "no relink")
+    )
+
+    bl, bt = runtime_with(lambda t, m: m["BLCR"].prepare_target(t))
+    rows.append(
+        (
+            "BLCR",
+            "libcr registration",
+            f"{(bl - base) / base * 100:.1f}%",
+            bt.annotations.get("blcr_registration_ns", 0),
+            "shared library mapped",
+        )
+    )
+
+    co, _ = runtime_with(lambda t, m: m["Condor"].prepare_target(t))
+    rows.append(
+        ("Condor", "condor_compile relink", f"{(co - base) / base * 100:.1f}%", 0, "relink required")
+    )
+
+    cr, _ = runtime_with(lambda t, m: m["CRAK"].prepare_target(t))
+    rows.append(
+        ("CRAK", "none", f"{(cr - base) / base * 100:.1f}%", 0, "fully transparent")
+    )
+    return rows, base, {"EPCKPT": ep, "CRAK": cr, "BLCR": bl}
+
+
+def test_e16_transparency_costs(run_once):
+    rows, base, times = run_once(measure)
+    text = render_table(
+        ["mechanism", "setup required", "runtime overhead", "one-time setup ns", "notes"],
+        rows,
+        title=f"E16. The price of (non-)transparency on a {N_CALLS}-syscall app.",
+    )
+    report("e16_transparency_costs", text)
+
+    # EPCKPT's launcher costs measurable runtime on every traced syscall.
+    assert times["EPCKPT"] > base * 1.02
+    # CRAK's preparation is free: no runtime difference at all.
+    assert times["CRAK"] == base
+    # BLCR pays a one-time registration but no per-syscall tracing.
+    reg = [r for r in rows if r[0] == "BLCR"][0]
+    assert reg[3] > 0
+    assert abs(times["BLCR"] - base) < base * 0.01

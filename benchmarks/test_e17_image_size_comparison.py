@@ -1,0 +1,98 @@
+"""E17 -- image size across mechanisms for an identical process.
+
+Paper, on PsncR/C: "Unlike other packages it does not perform any data
+optimization to reduce the checkpoint data size, so all of the code,
+shared libraries, and open files are always included in the
+checkpoints."  The same process is checkpointed by four mechanisms; only
+the selection policy differs.
+"""
+
+from __future__ import annotations
+
+from repro.core.checkpointer import RequestState
+from repro.core.direction import AutonomicCheckpointer
+from repro.mechanisms import CRAK, Condor, PsncRC
+from repro.simkernel import Kernel, ops
+from repro.simkernel.costs import NS_PER_MS
+from repro.storage import LocalDiskStorage, RemoteStorage
+from repro.workloads import SparseWriter
+from repro.reporting import render_table
+
+from conftest import report
+
+
+def build_process(k):
+    wl = SparseWriter(
+        iterations=10**6, dirty_fraction=0.05, heap_bytes=1 << 20,
+        seed=17, compute_ns=100_000,
+    )
+    t = wl.spawn(k)
+    # Make code and libraries resident (they get paged in as the program
+    # runs) and open a data file.
+    for vma_name in ("code", "libc.so"):
+        vma = t.mm.vma(vma_name)
+        for p in range(vma.npages):
+            vma.ensure_page(p)
+    k.vfs.create("/data/input.dat", b"z" * 20_000)
+    return t
+
+
+def run_mech(key):
+    k = Kernel(ncpus=2, seed=17)
+    t = build_process(k)
+    mech = {
+        "PsncR/C (no filtering)": lambda: PsncRC(k, LocalDiskStorage(0)),
+        "CRAK (skips code+libs)": lambda: CRAK(k, RemoteStorage()),
+        "AutonomicCkpt full": lambda: AutonomicCheckpointer(k, RemoteStorage()),
+        "Condor (user level)": lambda: Condor(k, RemoteStorage()),
+    }[key]()
+    mech.prepare_target(t)
+    k.run_for(5 * NS_PER_MS)
+    req = mech.request_checkpoint(t)
+    k.start()
+    k.engine.run(
+        until_ns=k.engine.now_ns + 10**12,
+        until=lambda: req.state == RequestState.DONE,
+    )
+    assert req.state == RequestState.DONE, req.error
+    img = req.image
+    return {
+        "payload": img.payload_bytes,
+        "total": img.size_bytes,
+        "vmas": sorted({c.vma for c in img.chunks}),
+    }
+
+
+def measure():
+    keys = [
+        "PsncR/C (no filtering)",
+        "CRAK (skips code+libs)",
+        "AutonomicCkpt full",
+        "Condor (user level)",
+    ]
+    return {key: run_mech(key) for key in keys}
+
+
+def test_e17_image_sizes(run_once):
+    out = run_once(measure)
+    rows = [
+        (name, d["payload"], d["total"], ", ".join(d["vmas"])) for name, d in out.items()
+    ]
+    text = render_table(
+        ["mechanism", "memory payload B", "image total B", "VMAs included"],
+        rows,
+        title="E17. Checkpoint image of the same process under different selection policies.",
+    )
+    report("e17_image_sizes", text)
+
+    psnc = out["PsncR/C (no filtering)"]
+    others = [v for k_, v in out.items() if k_ != "PsncR/C (no filtering)"]
+    # PsncR/C's image is strictly the largest: code + shared libraries
+    # ride along on every checkpoint.
+    assert all(psnc["payload"] > o["payload"] for o in others)
+    assert "code" in psnc["vmas"] and "libc.so" in psnc["vmas"]
+    for o in others:
+        assert "code" not in o["vmas"] and "libc.so" not in o["vmas"]
+    # The penalty is the full text+libs footprint (768 KiB here).
+    smallest = min(o["payload"] for o in others)
+    assert psnc["payload"] - smallest >= 700 * 1024

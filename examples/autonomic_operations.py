@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Autonomic (self-managing) checkpoint operations.
+
+The paper's vision: checkpoint/restart as "completely an autonomous
+entity in the system ... managing their internal behavior in accordance
+with policies", including interval adaptation to the failure rate, safe
+pre-emption, and administrator workflows (planned-outage drains).
+
+This example demonstrates all three on one cluster:
+
+1. a job protected by a coordinator whose interval is retuned live by
+   the AutonomicIntervalController as failures arrive;
+2. safe pre-emption: a low-priority job is checkpoint-parked to free its
+   node, then resumed from the image;
+3. a batch-manager drain of a node for maintenance.
+
+Run:  python examples/autonomic_operations.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import BatchManager, CheckpointCoordinator, Cluster, ParallelJob
+from repro.core.autonomic import (
+    AutonomicIntervalController,
+    FailureRateEstimator,
+    SafePreemption,
+)
+from repro.core.direction import AutonomicCheckpointer
+from repro.simkernel.costs import NS_PER_MS, NS_PER_S
+from repro.workloads import HotColdWriter, SparseWriter
+
+
+def main() -> None:
+    cluster = Cluster(n_nodes=4, n_spares=2, seed=33)
+    mechs = {
+        n.node_id: AutonomicCheckpointer(n.kernel, cluster.remote_storage)
+        for n in cluster.nodes
+    }
+
+    # ------------------------------------------------------------------
+    # 1. interval adaptation to the observed failure rate
+    # ------------------------------------------------------------------
+    def wf(rank):
+        return HotColdWriter(
+            iterations=8_000, heap_bytes=512 * 1024, seed=rank, compute_ns=100_000
+        )
+
+    job = ParallelJob(cluster, wf, n_ranks=4, name="adaptive-job")
+    coord = CheckpointCoordinator(job, mechs, interval_ns=100 * NS_PER_MS)
+    coord.start()
+
+    estimator = FailureRateEstimator(prior_mtbf_s=10.0, alpha=0.5)
+    controller = AutonomicIntervalController(
+        estimator, min_interval_s=0.01, max_interval_s=1.0
+    )
+    cluster.on_failure(lambda node: estimator.observe_failure(cluster.engine.now_ns))
+
+    def retune_loop() -> None:
+        for req in mechs[0].completed_requests()[-3:]:
+            controller.observe_checkpoint(req)
+        new_iv = controller.retune(coord)
+        print(f"  t={cluster.engine.now_s * 1000:7.1f} ms  "
+              f"MTBF est {estimator.mtbf_s:6.2f} s -> interval "
+              f"{new_iv / 1e6:7.1f} ms")
+        cluster.engine.after(150 * NS_PER_MS, retune_loop)
+
+    cluster.engine.after(150 * NS_PER_MS, retune_loop)
+    # A burst of failures mid-run.
+    cluster.engine.after(200 * NS_PER_MS, lambda: cluster.fail_node(1))
+    cluster.engine.after(400 * NS_PER_MS, lambda: cluster.fail_node(2))
+    print("adaptive interval trace:")
+    job.run_to_completion(limit_ns=120 * NS_PER_S)
+    print(f"job completed: makespan {job.makespan_s():.3f}s, "
+          f"waves {len(coord.waves)}, recoveries {coord.recoveries}, "
+          f"controller retunes {controller.retunes}")
+
+    # ------------------------------------------------------------------
+    # 2. safe pre-emption
+    # ------------------------------------------------------------------
+    node = cluster.node(3)
+    sp = SafePreemption(mechs[3])
+    low = SparseWriter(
+        iterations=10**6, dirty_fraction=0.02, heap_bytes=256 * 1024, seed=9
+    ).spawn(node.kernel, name="low-prio")
+    cluster.run_for(10 * NS_PER_MS)
+    sp.preempt(low)
+    cluster.run_until(lambda: low.pid in sp.parked, limit_ns=10 * NS_PER_S)
+    print(f"\nsafe pre-emption: pid {low.pid} checkpoint-parked "
+          f"(durable image {sp.parked[low.pid]!r}); node 3 is free")
+    res = sp.resume_from_image(low.pid, target_kernel=cluster.node(0).kernel)
+    cluster.run_for(10 * NS_PER_MS)
+    print(f"resumed from image on node 0 as pid {res.task.pid} "
+          f"at step {res.task.main_steps}")
+
+    # ------------------------------------------------------------------
+    # 3. administrator drain for planned maintenance
+    # ------------------------------------------------------------------
+    mgr = BatchManager(cluster, head_node_id=0)
+    job2 = mgr.submit(
+        lambda r: SparseWriter(
+            iterations=10**6, dirty_fraction=0.02, heap_bytes=256 * 1024, seed=r
+        ),
+        n_ranks=2,
+        name="maintenance-demo",
+        mechanisms=mechs,
+        checkpoint_interval_ns=NS_PER_S,
+    )
+    cluster.run_for(20 * NS_PER_MS)
+    reqs = mgr.drain_node_for_maintenance(0)
+    cluster.run_for(2 * NS_PER_S)
+    frozen = [r for r in job2.ranks if r.task.state.value == "stopped"]
+    print(f"\nmaintenance drain of node 0: {len(reqs)} checkpoints taken, "
+          f"{len(frozen)} rank(s) frozen")
+    resumed = mgr.release_node(0)
+    print(f"maintenance done: {resumed} rank(s) thawed")
+
+
+if __name__ == "__main__":
+    main()

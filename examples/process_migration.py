@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Process migration with and without resource virtualization.
+
+Checkpoint/restart's second life (beyond fault tolerance) is process
+migration -- the original use of VMADump/BProc, CRAK and ZAP.  This
+example migrates two kinds of process between nodes:
+
+* a plain compute process -- CRAK moves it fine;
+* a process holding a TCP socket and a SysV shared-memory segment
+  (kernel-persistent state) -- CRAK's restore fails on the destination,
+  ZAP's pod virtualization recreates everything.
+
+Run:  python examples/process_migration.py
+"""
+
+from __future__ import annotations
+
+from repro.core.checkpointer import RequestState
+from repro.errors import IncompatibleStateError
+from repro.mechanisms import CRAK, ZAP
+from repro.simkernel import Kernel
+from repro.simkernel.costs import NS_PER_MS
+from repro.storage import NullStorage, RemoteStorage
+from repro.workloads import SocketApp, SparseWriter
+
+
+def wait(kernel, req):
+    kernel.start()
+    kernel.engine.run(
+        until_ns=kernel.engine.now_ns + 10**12,
+        until=lambda: req.state in (RequestState.DONE, RequestState.FAILED),
+    )
+
+
+def main() -> None:
+    node_a = Kernel(ncpus=2, seed=1, node_id=0)
+    node_b = Kernel(ncpus=2, seed=2, node_id=1)
+
+    # --- plain compute process: CRAK migration works --------------------
+    crak = CRAK(node_a, RemoteStorage())
+    plain = SparseWriter(
+        iterations=10**6, dirty_fraction=0.02, heap_bytes=512 * 1024, seed=5
+    ).spawn(node_a, name="plain-app")
+    node_a.run_for(10 * NS_PER_MS)
+    req = crak.migrate(plain, node_b)
+    wait(node_a, req)
+    node_a.run_for(10 * NS_PER_MS)  # deferred restore + source kill
+    moved = [t for t in node_b.tasks.values() if t.name.startswith("plain-app")]
+    print(f"CRAK migration of a plain process: source alive={plain.alive()}, "
+          f"running on node 1: {bool(moved)}")
+
+    # --- socket-holding process ------------------------------------------
+    netapp_wl = SocketApp(iterations=10**6, local_port=40123)
+
+    # CRAK: checkpoint succeeds, cross-node restore does not.
+    netapp = netapp_wl.spawn(node_a, name="net-app-crak")
+    node_a.run_for(10 * NS_PER_MS)
+    req2 = crak.request_checkpoint(netapp)
+    wait(node_a, req2)
+    try:
+        crak.restart(req2.key, target_kernel=node_b)
+        print("CRAK migration of a socket holder: unexpectedly restored!")
+    except IncompatibleStateError as exc:
+        print(f"CRAK migration of a socket holder: REFUSED -- {exc}")
+
+    # ZAP: pod virtualization carries the socket identity across.
+    zap = ZAP(node_a, NullStorage())
+    netapp2 = SocketApp(iterations=10**6, local_port=40555).spawn(
+        node_a, name="net-app-zap"
+    )
+    zap.prepare_target(netapp2)  # place it in a pod
+    node_a.run_for(10 * NS_PER_MS)
+    req3 = zap.request_checkpoint(netapp2)
+    wait(node_a, req3)
+    res = zap.restart(req3.key, target_kernel=node_b)
+    sock_kinds = [fd.file.kind for fd in res.task.fds.values()]
+    print(f"ZAP migration of a socket holder: restored on node "
+          f"{res.task.node_id} with fds {sock_kinds} "
+          f"(port re-bound: {40555 in node_b.ports_in_use})")
+    assert "socket" in sock_kinds
+
+
+if __name__ == "__main__":
+    main()

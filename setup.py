@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs where PEP 517 tooling
+(wheel/bdist_wheel) is unavailable.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Multi-node cluster substrate: nodes, failures, jobs, coordination."""
+
+from .batch import BatchManager
+from .gang import GangScheduler
+from .failures import (
+    ExponentialFailures,
+    FailureModel,
+    WeibullFailures,
+    p_survive,
+    system_mtbf_s,
+)
+from .job import CheckpointCoordinator, ParallelJob, Rank, ScratchRestartPolicy
+from .machine import Cluster, ClusterNode, NodeState
+
+__all__ = [
+    "GangScheduler",
+    "Cluster",
+    "ClusterNode",
+    "NodeState",
+    "FailureModel",
+    "ExponentialFailures",
+    "WeibullFailures",
+    "system_mtbf_s",
+    "p_survive",
+    "ParallelJob",
+    "Rank",
+    "ScratchRestartPolicy",
+    "CheckpointCoordinator",
+    "BatchManager",
+]

@@ -1,0 +1,99 @@
+"""Failure processes and MTBF arithmetic.
+
+The paper's motivating arithmetic (Section 1): "because of the
+extraordinarily large component count of such machines -- for instance,
+the IBM BlueGene/L supercomputer currently under construction will have
+65,536 nodes -- their mean time between failures (MTBF) may be orders of
+magnitude shorter than the execution times of the applications they are
+intended to run."  Experiment E12 reproduces exactly that scaling.
+
+Failures are *fail-stop* [33]: a failed node halts detectably and takes
+its processes (and local disk availability) with it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..errors import ClusterError
+from ..simkernel.costs import NS_PER_S
+
+__all__ = [
+    "FailureModel",
+    "ExponentialFailures",
+    "WeibullFailures",
+    "system_mtbf_s",
+    "p_survive",
+]
+
+
+def system_mtbf_s(node_mtbf_s: float, n_nodes: int) -> float:
+    """System MTBF when any of ``n_nodes`` failing is fatal.
+
+    With independent exponential node lifetimes the system failure
+    process is Poisson with rate ``n / node_mtbf``.
+    """
+    if n_nodes < 1:
+        raise ClusterError("need at least one node")
+    return node_mtbf_s / n_nodes
+
+
+def p_survive(duration_s: float, node_mtbf_s: float, n_nodes: int) -> float:
+    """Probability an ``n_nodes`` job runs ``duration_s`` with no failure."""
+    lam = n_nodes / node_mtbf_s
+    return math.exp(-lam * duration_s)
+
+
+class FailureModel:
+    """Base class: draws per-node times-to-failure (seconds)."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def draw_ttf_s(self) -> float:
+        """Sample one time-to-failure, in seconds."""
+        raise NotImplementedError
+
+    def draws(self, n: int) -> Iterator[float]:
+        """Sample ``n`` independent times-to-failure."""
+        for _ in range(n):
+            yield self.draw_ttf_s()
+
+
+class ExponentialFailures(FailureModel):
+    """Memoryless node failures with the given MTBF."""
+
+    def __init__(self, mtbf_s: float, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(rng)
+        if mtbf_s <= 0:
+            raise ClusterError("MTBF must be positive")
+        self.mtbf_s = mtbf_s
+
+    def draw_ttf_s(self) -> float:
+        return float(self.rng.exponential(self.mtbf_s))
+
+
+class WeibullFailures(FailureModel):
+    """Weibull node failures (shape < 1: infant mortality, the empirically
+    observed regime on large clusters)."""
+
+    def __init__(
+        self,
+        mtbf_s: float,
+        shape: float = 0.7,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(rng)
+        if mtbf_s <= 0 or shape <= 0:
+            raise ClusterError("MTBF and shape must be positive")
+        self.shape = shape
+        # Scale chosen so the mean equals mtbf_s.
+        self.scale = mtbf_s / math.gamma(1.0 + 1.0 / shape)
+        self.mtbf_s = mtbf_s
+
+    def draw_ttf_s(self) -> float:
+        return float(self.scale * self.rng.weibull(self.shape))

@@ -1,0 +1,201 @@
+"""Multi-node cluster: nodes, shared clock, fail-stop injection.
+
+Every node runs its own simulated kernel, all on one shared
+:class:`~repro.simkernel.engine.Engine` so virtual time is global.  A
+node failure halts its kernel (fail-stop), kills its processes, and
+makes its local disk unreachable until repair -- exactly the storage
+semantics behind Table 1's local-vs-remote distinction (E13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ClusterError, NodeFailedError
+from ..simkernel import Kernel, TaskState
+from ..simkernel.costs import CostModel, DEFAULT_COSTS, NS_PER_S
+from ..simkernel.engine import Engine
+from ..storage import LocalDiskStorage, RemoteStorage
+from .failures import FailureModel
+
+__all__ = ["NodeState", "ClusterNode", "Cluster"]
+
+
+class NodeState(str, Enum):
+    """Fail-stop lifecycle of a node."""
+
+    UP = "up"
+    FAILED = "failed"
+    REBOOTING = "rebooting"
+
+
+class ClusterNode:
+    """One machine: a kernel plus its local disk."""
+
+    def __init__(
+        self,
+        node_id: int,
+        engine: Engine,
+        ncpus: int = 2,
+        costs: CostModel = DEFAULT_COSTS,
+    ) -> None:
+        self.node_id = node_id
+        self.engine = engine
+        self.ncpus = ncpus
+        self.costs = costs
+        self.state = NodeState.UP
+        self.kernel = Kernel(ncpus=ncpus, costs=costs, engine=engine, node_id=node_id)
+        self.local_storage = LocalDiskStorage(node_id=node_id)
+        self.failed_at_ns: Optional[int] = None
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Fail-stop: halt the kernel, kill processes, lose disk access."""
+        if self.state == NodeState.FAILED:
+            return
+        self.state = NodeState.FAILED
+        self.failed_at_ns = self.engine.now_ns
+        self.failures += 1
+        self.kernel.halt()
+        for task in list(self.kernel.tasks.values()):
+            if task.alive():
+                task.state = TaskState.DEAD
+                task.exit_code = -1
+        self.local_storage.mark_node_failed()
+
+    def repair(self, disk_survived: bool = True) -> None:
+        """Reboot the node with a fresh kernel (old processes are gone)."""
+        self.state = NodeState.UP
+        self.kernel = Kernel(
+            ncpus=self.ncpus, costs=self.costs, engine=self.engine, node_id=self.node_id
+        )
+        self.local_storage.mark_node_recovered(data_survived=disk_survived)
+        self.failed_at_ns = None
+
+    @property
+    def up(self) -> bool:
+        """Whether the node is serving."""
+        return self.state == NodeState.UP
+
+    def require_up(self) -> "ClusterNode":
+        """Raise unless the node is up."""
+        if not self.up:
+            raise NodeFailedError(f"node {self.node_id} is {self.state.value}")
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.node_id} {self.state.value}>"
+
+
+class Cluster:
+    """A set of nodes sharing one virtual clock plus remote storage.
+
+    Parameters
+    ----------
+    n_nodes:
+        Compute nodes (allocatable to jobs).
+    n_spares:
+        Extra nodes kept idle for restart-after-failure placement.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_spares: int = 0,
+        ncpus_per_node: int = 2,
+        seed: int = 0,
+        costs: CostModel = DEFAULT_COSTS,
+    ) -> None:
+        if n_nodes < 1:
+            raise ClusterError("cluster needs at least one node")
+        self.engine = Engine(seed=seed)
+        self.costs = costs
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(i, self.engine, ncpus=ncpus_per_node, costs=costs)
+            for i in range(n_nodes + n_spares)
+        ]
+        self.n_compute = n_nodes
+        self.remote_storage = RemoteStorage()
+        self._spares: List[int] = list(range(n_nodes, n_nodes + n_spares))
+        self._failure_watchers: List[Callable[[ClusterNode], None]] = []
+
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> ClusterNode:
+        """Node by id."""
+        return self.nodes[node_id]
+
+    def compute_nodes(self) -> List[ClusterNode]:
+        """The non-spare nodes."""
+        return self.nodes[: self.n_compute]
+
+    def up_nodes(self) -> List[ClusterNode]:
+        """Every currently-serving node."""
+        return [n for n in self.nodes if n.up]
+
+    def claim_spare(self) -> ClusterNode:
+        """Take a spare for restart placement."""
+        while self._spares:
+            nid = self._spares.pop(0)
+            if self.nodes[nid].up:
+                return self.nodes[nid]
+        raise ClusterError("no spare nodes available")
+
+    def spares_left(self) -> int:
+        """Spare nodes still unclaimed and up."""
+        return sum(1 for nid in self._spares if self.nodes[nid].up)
+
+    # ------------------------------------------------------------------
+    def on_failure(self, fn: Callable[[ClusterNode], None]) -> None:
+        """Register a callback fired when any node fails."""
+        self._failure_watchers.append(fn)
+
+    def fail_node(self, node_id: int) -> None:
+        """Inject a fail-stop on one node, now."""
+        node = self.nodes[node_id]
+        if not node.up:
+            return
+        node.fail()
+        self.engine.count("node_failures")
+        for fn in list(self._failure_watchers):
+            fn(node)
+
+    def schedule_failures(
+        self,
+        model: FailureModel,
+        node_ids: Optional[List[int]] = None,
+        horizon_s: Optional[float] = None,
+    ) -> int:
+        """Arm each listed node with a sampled time-to-failure.
+
+        Returns how many failures were scheduled (those within the
+        horizon).  Only the *first* failure per node is armed; repairs
+        may re-arm explicitly.
+        """
+        ids = node_ids if node_ids is not None else [n.node_id for n in self.compute_nodes()]
+        scheduled = 0
+        for nid in ids:
+            ttf_s = model.draw_ttf_s()
+            if horizon_s is not None and ttf_s > horizon_s:
+                continue
+            delay_ns = int(ttf_s * NS_PER_S)
+            self.engine.after(delay_ns, lambda n=nid: self.fail_node(n), label="node-fail")
+            scheduled += 1
+        return scheduled
+
+    # ------------------------------------------------------------------
+    def run_for(self, duration_ns: int) -> None:
+        """Advance the shared clock (all kernels progress)."""
+        for node in self.nodes:
+            if node.up:
+                node.kernel.start()
+        self.engine.run(until_ns=self.engine.now_ns + int(duration_ns))
+
+    def run_until(self, predicate: Callable[[], bool], limit_ns: int) -> None:
+        """Run until ``predicate`` or the time limit."""
+        for node in self.nodes:
+            if node.up:
+                node.kernel.start()
+        self.engine.run(until_ns=self.engine.now_ns + int(limit_ns), until=predicate)

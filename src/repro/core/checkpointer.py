@@ -1,0 +1,260 @@
+"""The abstract Checkpointer API.
+
+A :class:`Checkpointer` is one point in the paper's taxonomy made
+executable: it installs itself into a simulated kernel through the same
+interface its real counterpart uses (new syscalls, a new kernel signal, a
+kernel thread behind a /dev or /proc node, user-level signal handlers
+plus preloaded wrappers), accepts checkpoint requests, produces
+:class:`~repro.core.image.CheckpointImage` objects on stable storage, and
+restarts tasks from them.
+
+The request lifecycle is asynchronous in virtual time: initiation returns
+a :class:`CheckpointRequest` immediately; the capture work is executed by
+the simulation (inside whatever context the mechanism uses), and the
+request records initiation latency, capture duration, stall time and
+image key for the experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import CheckpointError, RestartError
+from ..simkernel import Kernel, Task
+from ..storage.backends import StorageBackend
+from .capture import RestoreResult, load_image, restore_image
+from .features import Features
+from .image import CheckpointImage, materialize_chain
+from .taxonomy import TaxonomyPosition
+
+__all__ = ["RequestState", "CheckpointRequest", "Checkpointer"]
+
+
+class RequestState(str, Enum):
+    """Lifecycle of a checkpoint request."""
+
+    PENDING = "pending"  # initiated, capture not yet started
+    RUNNING = "running"  # capture in progress
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class CheckpointRequest:
+    """Tracking record for one checkpoint operation."""
+
+    key: str
+    target_pid: int
+    mechanism: str
+    initiated_ns: int
+    state: RequestState = RequestState.PENDING
+    started_ns: Optional[int] = None
+    completed_ns: Optional[int] = None
+    image: Optional[CheckpointImage] = None
+    error: Optional[str] = None
+    #: Virtual time the target spent frozen for this checkpoint.
+    target_stall_ns: int = 0
+    incremental: bool = False
+
+    @property
+    def initiation_latency_ns(self) -> Optional[int]:
+        """Initiation -> capture start (the E7 metric)."""
+        if self.started_ns is None:
+            return None
+        return self.started_ns - self.initiated_ns
+
+    @property
+    def capture_duration_ns(self) -> Optional[int]:
+        """Capture start -> image on stable storage."""
+        if self.completed_ns is None or self.started_ns is None:
+            return None
+        return self.completed_ns - self.started_ns
+
+    @property
+    def total_latency_ns(self) -> Optional[int]:
+        """Initiation -> completion."""
+        if self.completed_ns is None:
+            return None
+        return self.completed_ns - self.initiated_ns
+
+
+class Checkpointer:
+    """Base class for every mechanism model.
+
+    Subclasses must set the class attributes ``mech_name``, ``position``
+    and ``features``, implement :meth:`request_checkpoint`, and may
+    override :meth:`prepare_target` (registration/launcher phases),
+    :meth:`install`/:meth:`uninstall` hooks and the restore knobs.
+
+    Parameters
+    ----------
+    kernel:
+        The node this mechanism instance is installed on.
+    storage:
+        Stable-storage backend checkpoints are written to.  Must be one
+        of the kinds the mechanism supports (Table 1 storage column).
+    """
+
+    #: Mechanism name exactly as Table 1 spells it.
+    mech_name: str = "abstract"
+    position: TaxonomyPosition
+    features: Features
+    description: str = ""
+    #: True for mechanisms the paper surveys (Figure 1 / Table 1 members);
+    #: False for designs this repository adds (the "direction forward").
+    surveyed: bool = True
+
+    _key_counter = itertools.count(1)
+
+    def __init__(self, kernel: Kernel, storage: StorageBackend) -> None:
+        supported = self.features.stable_storage
+        if supported and storage.kind not in supported:
+            raise CheckpointError(
+                f"{self.mech_name} does not support {storage.kind.value} "
+                f"storage (supports: {[k.value for k in supported]})"
+            )
+        self.kernel = kernel
+        self.storage = storage
+        self.requests: List[CheckpointRequest] = []
+        #: key -> image for chain bookkeeping (images live in storage too).
+        self._last_key_for_pid: Dict[int, str] = {}
+        self.installed = False
+        self.install()
+        self.installed = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Hook the mechanism into the kernel (module load, new syscalls,
+        new signals, device nodes).  Default: nothing."""
+
+    def uninstall(self) -> None:
+        """Remove kernel hooks (only possible for kernel modules)."""
+        if not self.features.kernel_module:
+            raise CheckpointError(
+                f"{self.mech_name} is compiled into the static kernel and "
+                f"cannot be unloaded"
+            )
+        self.installed = False
+
+    def prepare_target(self, task: Task) -> None:
+        """Per-process setup before checkpoints work.
+
+        Default: none (fully transparent mechanisms).  BLCR's library
+        registration, EPCKPT's launcher, and every user-level package
+        override this -- it is what costs them Table 1's transparency
+        "no" (experiment E16).
+        """
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+    def request_checkpoint(
+        self, task: Task, incremental: bool = False
+    ) -> CheckpointRequest:
+        """Initiate a checkpoint of ``task`` via this mechanism's interface.
+
+        Returns immediately; run the engine to let the capture proceed.
+        """
+        raise NotImplementedError
+
+    def _new_request(self, task: Task, incremental: bool = False) -> CheckpointRequest:
+        key = f"{self.mech_name}/{task.pid}/{next(self._key_counter)}"
+        req = CheckpointRequest(
+            key=key,
+            target_pid=task.pid,
+            mechanism=self.mech_name,
+            initiated_ns=self.kernel.engine.now_ns,
+            incremental=incremental and self.features.incremental,
+        )
+        if incremental and not self.features.incremental:
+            raise CheckpointError(
+                f"{self.mech_name} does not implement incremental checkpointing"
+            )
+        self.requests.append(req)
+        return req
+
+    def _new_image(self, req: CheckpointRequest, task: Task) -> CheckpointImage:
+        parent = self._last_key_for_pid.get(task.pid) if req.incremental else None
+        return CheckpointImage(
+            key=req.key,
+            mechanism=self.mech_name,
+            pid=task.pid,
+            task_name=task.name,
+            node_id=self.kernel.node_id,
+            step=task.main_steps,
+            registers=task.registers.snapshot(),
+            parent_key=parent,
+        )
+
+    def _complete(self, req: CheckpointRequest, image: CheckpointImage) -> None:
+        req.image = image
+        req.state = RequestState.DONE
+        req.completed_ns = self.kernel.engine.now_ns
+        self._last_key_for_pid[req.target_pid] = image.key
+
+    def _fail(self, req: CheckpointRequest, message: str) -> None:
+        req.state = RequestState.FAILED
+        req.error = message
+        req.completed_ns = self.kernel.engine.now_ns
+
+    # ------------------------------------------------------------------
+    # Restart
+    # ------------------------------------------------------------------
+    #: Restore capability knobs subclasses override.
+    restores_pid: bool = False
+    virtualizes_resources: bool = False
+    rescues_deleted_files: bool = False
+
+    def image_chain(self, key: str, target_kernel: Optional[Kernel] = None):
+        """Fetch the full-image + delta chain ending at ``key``."""
+        kernel = target_kernel or self.kernel
+        chain: List[CheckpointImage] = []
+        total_delay = 0
+        k: Optional[str] = key
+        while k is not None:
+            image, delay = load_image(kernel, self.storage, k)
+            total_delay += delay
+            chain.append(image)
+            k = image.parent_key
+        chain.reverse()
+        return chain, total_delay
+
+    def restart(
+        self,
+        key: str,
+        target_kernel: Optional[Kernel] = None,
+        strict_kernel_state: bool = True,
+    ) -> RestoreResult:
+        """Restart the process checkpointed under ``key``.
+
+        ``target_kernel`` may be a different node -- that is the whole
+        point of remote stable storage.  Raises
+        :class:`~repro.errors.IncompatibleStateError` when the image
+        needs kernel-persistent state this mechanism cannot recreate.
+        """
+        kernel = target_kernel or self.kernel
+        chain, io_delay = self.image_chain(key, kernel)
+        image = chain[0] if len(chain) == 1 else materialize_chain(chain)
+        return restore_image(
+            kernel,
+            image,
+            io_delay_ns=io_delay,
+            restore_pid=self.restores_pid,
+            virtualize=self.virtualizes_resources,
+            rescue_deleted_files=self.rescues_deleted_files,
+            strict_kernel_state=strict_kernel_state,
+            name_suffix=":r",
+        )
+
+    # ------------------------------------------------------------------
+    def completed_requests(self) -> List[CheckpointRequest]:
+        """All successfully completed requests."""
+        return [r for r in self.requests if r.state == RequestState.DONE]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.mech_name!r} on node {self.kernel.node_id}>"

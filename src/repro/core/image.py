@@ -1,0 +1,219 @@
+"""Checkpoint image format: full and incremental process images.
+
+An image holds everything needed to recreate a process "at the point of
+progress represented by this state": identification, registers, the
+restart cursor (completed main-program ops), VMA descriptors, file
+descriptor snapshots, signal state, and the memory payload as a list of
+:class:`Chunk` objects (whole pages for page-granularity mechanisms,
+sub-page blocks for probabilistic/hardware granularities).
+
+Incremental chains: a delta image records ``parent_key``; restore walks
+the chain from the full base forward, later chunks overwriting earlier
+ones (:func:`materialize_chain`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CheckpointError, RestartError
+from ..simkernel.memory import VMAKind, page_checksum
+from ..simkernel.process import Task
+
+__all__ = ["Chunk", "VMADescriptor", "FDDescriptor", "CheckpointImage", "materialize_chain"]
+
+#: Fixed metadata overhead accounted per image (headers, task struct).
+METADATA_BYTES = 4096
+#: Accounted bytes per VMA / per FD descriptor record.
+VMA_RECORD_BYTES = 64
+FD_RECORD_BYTES = 48
+
+
+@dataclass
+class Chunk:
+    """One contiguous span of saved memory within a page.
+
+    ``offset``/``nbytes`` allow sub-page blocks; page-granularity
+    mechanisms always use offset 0 and nbytes == page_size.
+    """
+
+    vma: str
+    page_index: int
+    offset: int
+    data: np.ndarray  # uint8 copy of the saved bytes
+    checksum: int = 0
+
+    def __post_init__(self) -> None:
+        if self.checksum == 0:
+            self.checksum = page_checksum(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        """Saved payload size."""
+        return int(self.data.size)
+
+
+@dataclass
+class VMADescriptor:
+    """Recreate-a-VMA record."""
+
+    name: str
+    nbytes: int
+    prot: int
+    kind: str
+    shared: bool = False
+    file_path: Optional[str] = None
+    shm_key: Optional[int] = None
+
+
+@dataclass
+class FDDescriptor:
+    """Recreate-a-descriptor record (plus rescue data for deleted files)."""
+
+    fd: int
+    path: str
+    kind: str
+    offset: int
+    flags: int = 0
+    #: UCLiK-style rescue: contents of a deleted-but-open file.
+    rescued_content: Optional[bytes] = None
+    #: Socket identity (kernel-persistent state).
+    local_port: Optional[int] = None
+    remote_addr: Optional[str] = None
+
+
+@dataclass
+class CheckpointImage:
+    """A (full or incremental) checkpoint of one task."""
+
+    key: str
+    mechanism: str
+    pid: int
+    task_name: str
+    node_id: int
+    step: int
+    registers: Dict[str, Any]
+    vmas: List[VMADescriptor] = field(default_factory=list)
+    fds: List[FDDescriptor] = field(default_factory=list)
+    signals: Dict[str, Any] = field(default_factory=dict)
+    chunks: List[Chunk] = field(default_factory=list)
+    #: Full image (None) or delta whose base is ``parent_key``.
+    parent_key: Optional[str] = None
+    #: Virtual time the checkpoint completed.
+    time_ns: int = 0
+    #: Program-visible state that conceptually lives in restored memory
+    #: (workload reference and user annotations survive via this).
+    user_state: Dict[str, Any] = field(default_factory=dict)
+    #: Pod/virtualization table (ZAP): virtual->physical resource ids.
+    pod: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_incremental(self) -> bool:
+        """Whether this image is a delta over ``parent_key``."""
+        return self.parent_key is not None
+
+    @property
+    def payload_bytes(self) -> int:
+        """Saved memory payload (the quantity experiments E5/E6 plot)."""
+        return sum(c.nbytes for c in self.chunks)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total accounted image size including metadata records."""
+        return (
+            METADATA_BYTES
+            + VMA_RECORD_BYTES * len(self.vmas)
+            + FD_RECORD_BYTES * len(self.fds)
+            + self.payload_bytes
+            + sum(len(f.rescued_content or b"") for f in self.fds)
+        )
+
+    # ------------------------------------------------------------------
+    def add_page(self, vma_name: str, page_index: int, data: np.ndarray) -> Chunk:
+        """Append one whole-page chunk (copying ``data``)."""
+        chunk = Chunk(vma=vma_name, page_index=page_index, offset=0, data=np.array(data, copy=True))
+        self.chunks.append(chunk)
+        return chunk
+
+    def add_block(
+        self, vma_name: str, page_index: int, offset: int, data: np.ndarray
+    ) -> Chunk:
+        """Append a sub-page block chunk (probabilistic/hardware modes)."""
+        chunk = Chunk(
+            vma=vma_name, page_index=page_index, offset=offset, data=np.array(data, copy=True)
+        )
+        self.chunks.append(chunk)
+        return chunk
+
+    # ------------------------------------------------------------------
+    def verify_against(self, task: Task) -> List[str]:
+        """Compare every chunk with the task's live memory.
+
+        Returns a list of mismatch descriptions -- empty means the image
+        is consistent with the process (the test used to demonstrate torn
+        captures when the application was not stopped, experiment E9).
+        """
+        problems: List[str] = []
+        for c in self.chunks:
+            try:
+                vma = task.mm.vma(c.vma)
+            except Exception:
+                problems.append(f"vma {c.vma!r} missing")
+                continue
+            live = vma.read_page(c.page_index)[c.offset : c.offset + c.nbytes]
+            if page_checksum(np.ascontiguousarray(live)) != c.checksum:
+                problems.append(f"{c.vma}[{c.page_index}]+{c.offset} differs")
+        return problems
+
+    def chunk_index(self) -> Dict[Any, Chunk]:
+        """Last-writer-wins index of chunks by (vma, page, offset)."""
+        out: Dict[Any, Chunk] = {}
+        for c in self.chunks:
+            out[(c.vma, c.page_index, c.offset)] = c
+        return out
+
+
+def materialize_chain(images: Sequence[CheckpointImage]) -> CheckpointImage:
+    """Flatten a full-image + deltas chain into one restorable image.
+
+    ``images`` must be ordered base-first; the base must be a full image
+    and each subsequent delta's ``parent_key`` must name its predecessor.
+    """
+    if not images:
+        raise RestartError("empty image chain")
+    base = images[0]
+    if base.is_incremental:
+        raise RestartError(f"chain base {base.key!r} is itself incremental")
+    merged: Dict[Any, Chunk] = dict(base.chunk_index())
+    prev_key = base.key
+    for delta in images[1:]:
+        if delta.parent_key != prev_key:
+            raise RestartError(
+                f"broken chain: {delta.key!r} has parent {delta.parent_key!r}, "
+                f"expected {prev_key!r}"
+            )
+        merged.update(delta.chunk_index())
+        prev_key = delta.key
+    last = images[-1]
+    flat = CheckpointImage(
+        key=last.key + "+flat",
+        mechanism=last.mechanism,
+        pid=last.pid,
+        task_name=last.task_name,
+        node_id=last.node_id,
+        step=last.step,
+        registers=dict(last.registers),
+        vmas=list(last.vmas),
+        fds=list(last.fds),
+        signals=dict(last.signals),
+        chunks=list(merged.values()),
+        parent_key=None,
+        time_ns=last.time_ns,
+        user_state=dict(last.user_state),
+        pod=dict(last.pod) if last.pod else None,
+    )
+    return flat

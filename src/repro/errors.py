@@ -1,0 +1,110 @@
+"""Exception hierarchy for the ``repro`` checkpoint/restart laboratory.
+
+Every error raised by the package derives from :class:`ReproError` so callers
+can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "SchedulerError",
+    "MemoryError_",
+    "SegmentationFault",
+    "SyscallError",
+    "SignalError",
+    "CheckpointError",
+    "RestartError",
+    "IncompatibleStateError",
+    "StorageError",
+    "StorageLostError",
+    "ClusterError",
+    "NodeFailedError",
+    "RegistryError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulerError(SimulationError):
+    """Invalid scheduler operation (e.g. enqueueing a dead task)."""
+
+
+class MemoryError_(SimulationError):
+    """Invalid simulated-memory operation (bad address, bad protection)."""
+
+
+class SegmentationFault(MemoryError_):
+    """A simulated access violated page protections and nobody handled it.
+
+    In the simulated kernel this is normally intercepted (it is how both
+    user-level ``mprotect``/SIGSEGV incremental checkpointing and
+    system-level dirty-bit tracking are driven); reaching Python as an
+    exception means the access had no registered handler, which mirrors a
+    real segfault killing the process.
+    """
+
+    def __init__(self, pid: int, address: int, message: str = "") -> None:
+        self.pid = pid
+        self.address = address
+        super().__init__(
+            message or f"segmentation fault: pid={pid} address={address:#x}"
+        )
+
+
+class SyscallError(SimulationError):
+    """A simulated system call failed (unknown call, bad arguments)."""
+
+
+class SignalError(SimulationError):
+    """Invalid signal operation (unknown signal, bad handler)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint operation could not be completed."""
+
+
+class RestartError(ReproError):
+    """A restart operation could not be completed."""
+
+
+class IncompatibleStateError(RestartError):
+    """Restart failed because state could not be recreated on the target.
+
+    This is the failure mode the paper attributes to mechanisms without
+    resource virtualization: kernel-persistent identifiers (PIDs, sockets,
+    SysV shared-memory segments, IP addresses) clash or are missing on the
+    destination machine.
+    """
+
+
+class StorageError(ReproError):
+    """A stable-storage backend failed an operation."""
+
+
+class StorageLostError(StorageError):
+    """Stored data is unavailable (e.g. local disk on a failed node)."""
+
+
+class ClusterError(ReproError):
+    """Invalid cluster-level operation."""
+
+
+class NodeFailedError(ClusterError):
+    """The referenced node has failed (fail-stop semantics)."""
+
+
+class RegistryError(ReproError):
+    """Mechanism registry lookup or registration failed."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload was misconfigured or misused."""

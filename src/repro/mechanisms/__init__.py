@@ -1,0 +1,74 @@
+"""Checkpoint/restart mechanism models.
+
+Importing this package registers every surveyed mechanism with
+:mod:`repro.core.registry`, which is what Figure 1 and Table 1 are
+generated from.
+"""
+
+from . import incremental
+from .hardware import CacheLineTracker, HardwareCheckpointer, Revive, SafetyNet
+from .systemlevel import (
+    BLCR,
+    BProc,
+    CheckpointMT,
+    CHPOX,
+    CRAK,
+    EPCKPT,
+    LamMpi,
+    PsncRC,
+    SoftwareSuspend,
+    SystemLevelCheckpointer,
+    UCLiK,
+    VMADump,
+    ZAP,
+)
+from .userlevel import (
+    CCIFT,
+    CLIP,
+    CoCheck,
+    Condor,
+    Esky,
+    Libckp,
+    Libckpt,
+    Libtckpt,
+    PreloadCkpt,
+    PscCR,
+    Thckpt,
+    UserLevelCheckpointer,
+)
+
+__all__ = [
+    "incremental",
+    # system level
+    "SystemLevelCheckpointer",
+    "VMADump",
+    "BProc",
+    "EPCKPT",
+    "CHPOX",
+    "SoftwareSuspend",
+    "CRAK",
+    "ZAP",
+    "UCLiK",
+    "BLCR",
+    "LamMpi",
+    "PsncRC",
+    "CheckpointMT",
+    # user level
+    "UserLevelCheckpointer",
+    "Libckpt",
+    "Libckp",
+    "Thckpt",
+    "Esky",
+    "Condor",
+    "Libtckpt",
+    "PscCR",
+    "PreloadCkpt",
+    "CoCheck",
+    "CLIP",
+    "CCIFT",
+    # hardware
+    "CacheLineTracker",
+    "HardwareCheckpointer",
+    "Revive",
+    "SafetyNet",
+]

@@ -1,0 +1,6 @@
+"""Hardware-supported checkpoint mechanisms."""
+
+from .cacheline import CacheLineTracker
+from .schemes import HardwareCheckpointer, Revive, SafetyNet
+
+__all__ = ["CacheLineTracker", "HardwareCheckpointer", "Revive", "SafetyNet"]

@@ -1,0 +1,23 @@
+"""System-level (operating-system) checkpoint mechanisms."""
+
+from .base import SystemLevelCheckpointer
+from .concurrent import CheckpointMT
+from .ksignal import CHPOX, SoftwareSuspend
+from .kthread_based import BLCR, CRAK, LamMpi, PsncRC, UCLiK, ZAP
+from .syscall_based import BProc, EPCKPT, VMADump
+
+__all__ = [
+    "SystemLevelCheckpointer",
+    "VMADump",
+    "BProc",
+    "EPCKPT",
+    "CHPOX",
+    "SoftwareSuspend",
+    "CRAK",
+    "ZAP",
+    "UCLiK",
+    "BLCR",
+    "LamMpi",
+    "PsncRC",
+    "CheckpointMT",
+]

@@ -1,0 +1,181 @@
+"""Shared machinery for system-level (in-kernel) checkpointers.
+
+Two execution shapes cover all surveyed OS-level mechanisms:
+
+* **In-context capture** (:meth:`SystemLevelCheckpointer.capture_frame`):
+  the target itself executes the checkpoint code in kernel mode -- this
+  is both the *system call* shape (the application invoked it) and the
+  *kernel-mode signal handler* shape (the kernel runs the default action
+  in the process context).  Data is automatically consistent ("the
+  application is executing the checkpointing code ... so data do not
+  change during the checkpoint"), but the work runs at the application's
+  scheduling priority and can be preempted or interrupted (E10).
+
+* **Kernel-thread capture** (:meth:`SystemLevelCheckpointer.kthread_capture`):
+  a separate kernel thread does the work.  It must stop the target (or
+  fork it) for consistency, may pay an address-space switch + TLB flush
+  to reach the target's memory (E8), but can run at SCHED_FIFO or the
+  paper's dedicated checkpoint priority and can defer interrupts.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from ...core.capture import (
+    DEFAULT_SKIP_KINDS,
+    copy_pages,
+    select_pages,
+    snapshot_metadata,
+    store_image,
+)
+from ...core.checkpointer import Checkpointer, CheckpointRequest, RequestState
+from ...errors import CheckpointError
+from ...simkernel import Kernel, Mode, SchedPolicy, Task, TaskState, ops
+from .. import incremental as incr
+
+__all__ = ["SystemLevelCheckpointer"]
+
+
+class SystemLevelCheckpointer(Checkpointer):
+    """Base class for OS-level mechanisms."""
+
+    #: VMA kinds excluded from images when ``features.data_filtering``.
+    skip_kinds = DEFAULT_SKIP_KINDS
+
+    # ------------------------------------------------------------------
+    def arm_incremental(self, task: Task) -> int:
+        """Arm kernel-side dirty tracking for the next interval."""
+        if not self.features.incremental:
+            raise CheckpointError(
+                f"{self.mech_name} does not support incremental checkpointing"
+            )
+        return incr.arm_system_tracking(self.kernel, task)
+
+    def _page_set(self, task: Task, incremental: bool) -> List[Tuple[str, int]]:
+        return select_pages(
+            self.kernel,
+            task,
+            incremental=incremental,
+            skip_kinds=self.skip_kinds,
+            data_filtering=self.features.data_filtering,
+        )
+
+    # ------------------------------------------------------------------
+    def capture_frame(
+        self,
+        task: Task,
+        req: CheckpointRequest,
+        rearm: bool = False,
+    ) -> None:
+        """Push an in-context (kernel-mode) capture frame onto ``task``.
+
+        The frame runs when the task is next scheduled; the application
+        makes no progress meanwhile (its ops resume after the frame).
+        """
+        kernel = self.kernel
+
+        def frame() -> Generator:
+            req.state = RequestState.RUNNING
+            req.started_ns = kernel.engine.now_ns
+            image = self._new_image(req, task)
+            snapshot_metadata(kernel, task, image)
+            # Walking the task struct is nearly free in kernel mode.
+            yield ops.Compute(ns=2_000)
+            pages = self._page_set(task, req.incremental)
+            for op in copy_pages(kernel, task, image, pages):
+                yield op
+            for op in store_image(kernel, self.storage, image):
+                yield op
+            if rearm and self.features.incremental:
+                self.arm_incremental(task)
+                yield ops.Compute(ns=30 * len(pages) + 1_000)
+            req.target_stall_ns = kernel.engine.now_ns - req.started_ns
+            self._complete(req, image)
+
+        task.push_frame(frame(), Mode.KERNEL)
+
+    # ------------------------------------------------------------------
+    def kthread_capture(
+        self,
+        target: Task,
+        req: CheckpointRequest,
+        stop_target: bool = True,
+        policy: SchedPolicy = SchedPolicy.FIFO,
+        rt_prio: int = 50,
+        defer_irqs: bool = False,
+        rearm: bool = False,
+        capture_mm_of: Optional[Task] = None,
+        destroy_capture_source: bool = False,
+    ) -> Task:
+        """Spawn a kernel thread that captures ``target``.
+
+        ``capture_mm_of`` redirects the memory walk to another task (the
+        forked child in the Checkpoint [5] scheme) while metadata still
+        describes ``target``; ``destroy_capture_source`` reaps that task
+        afterwards.
+        """
+        kernel = self.kernel
+
+        def prog(kt: Task, step: int) -> Generator:
+            def gen():
+                req.state = RequestState.RUNNING
+                req.started_ns = kernel.engine.now_ns
+                if defer_irqs:
+                    kernel.disable_irqs_for(kt)
+                stopped_by_us = False
+                if stop_target and target.alive():
+                    # Only resume afterwards if WE froze it -- a task
+                    # parked by someone else (drain, safe pre-emption)
+                    # must stay frozen after the capture.
+                    already_stopped = target.state == TaskState.STOPPED
+                    kernel.stop_task(target)
+                    stopped_by_us = not already_stopped
+                    # Wait for the target to reach an op boundary (it may
+                    # be mid-op on another CPU).
+                    while target.alive() and target.state != TaskState.STOPPED:
+                        yield ops.Sleep(ns=50_000)
+                if not target.alive() and capture_mm_of is None:
+                    # With a forked capture source the frozen child still
+                    # holds the state even if the parent has since exited.
+                    if defer_irqs:
+                        kernel.enable_irqs_for(kt)
+                    self._fail(req, f"target pid {target.pid} exited before capture")
+                    return
+                source = capture_mm_of if capture_mm_of is not None else target
+                # Borrow the source's page tables (E8: free only if this
+                # CPU already holds them).
+                attach_ns = kernel.kthread_attach_mm(kt, source)
+                if attach_ns:
+                    yield ops.Compute(ns=attach_ns)
+                image = self._new_image(req, target)
+                snapshot_metadata(kernel, target, image)
+                yield ops.Compute(ns=2_000)
+                pages = self._page_set(source, req.incremental)
+                for op in copy_pages(kernel, source, image, pages):
+                    yield op
+                if rearm and self.features.incremental:
+                    self.arm_incremental(target)
+                    yield ops.Compute(ns=30 * len(pages) + 1_000)
+                if stopped_by_us:
+                    kernel.resume_task(target)
+                    req.target_stall_ns = kernel.engine.now_ns - req.started_ns
+                # Storage write happens after the app resumes (copy-out
+                # already isolated the data in the image buffers).
+                for op in store_image(kernel, self.storage, image):
+                    yield op
+                if defer_irqs:
+                    kernel.enable_irqs_for(kt)
+                if destroy_capture_source and capture_mm_of is not None:
+                    kernel._exit_task(capture_mm_of, code=0)
+                    kernel.reap(capture_mm_of)
+                self._complete(req, image)
+
+            return gen()
+
+        return kernel.spawn_kthread(
+            f"k{self.mech_name.lower()}/{req.key.rsplit('/', 1)[-1]}",
+            prog,
+            policy=policy,
+            rt_prio=rt_prio,
+        )

@@ -1,0 +1,21 @@
+"""User-level checkpoint mechanisms."""
+
+from .base import UserLevelCheckpointer
+from .library import Condor, Esky, Libckp, Libckpt, Libtckpt, PscCR, Thckpt
+from .parallel import CCIFT, CLIP, CoCheck
+from .preload import PreloadCkpt
+
+__all__ = [
+    "UserLevelCheckpointer",
+    "Libckpt",
+    "Libckp",
+    "Thckpt",
+    "Esky",
+    "Condor",
+    "Libtckpt",
+    "PscCR",
+    "PreloadCkpt",
+    "CoCheck",
+    "CLIP",
+    "CCIFT",
+]

@@ -1,0 +1,77 @@
+"""LD_PRELOAD-based user-level checkpointing.
+
+"Another implementation is based on the LD_PRELOAD environment variable
+which installs the signal handlers and loads the checkpoint library
+without recompiling again the application."  The preloaded library must
+*replicate kernel structures in user space by intercepting system
+calls* -- mmap/munmap for dynamic memory, dlopen for shared libraries,
+open/dup for file attributes -- "extremely undesirable because of added
+run-time overhead" (experiment E4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...core.features import Features, Initiation
+from ...core.registry import register
+from ...core.taxonomy import Agent, Context, TaxonomyPosition
+from ...simkernel import Task
+from ...simkernel.signals import Sig
+from ...simkernel.syscalls import SyscallTable
+from ...storage.backends import StorageKind
+from .base import UserLevelCheckpointer
+
+__all__ = ["PreloadCkpt"]
+
+
+@register
+class PreloadCkpt(UserLevelCheckpointer):
+    """Generic LD_PRELOAD checkpointer with shadow state replication."""
+
+    mech_name = "ld-preload"
+    position = TaxonomyPosition(
+        context=Context.USER_LEVEL,
+        agent=Agent.LD_PRELOAD,
+        specifics=("no relink", "syscall interposition", "shadow structures"),
+    )
+    features = Features(
+        incremental=False,
+        # No recompile/relink -- but still needs the env var at launch,
+        # which the paper counts as (mostly) transparent at user level.
+        transparent=True,
+        stable_storage=(StorageKind.LOCAL, StorageKind.REMOTE),
+        initiation=Initiation.USER,
+        kernel_module=False,
+        requires_registration=True,
+    )
+    description = "LD_PRELOAD interposition checkpointing"
+    trigger_signal = Sig.SIGUSR1
+
+    #: Bookkeeping cost per interposed call (shadow structure update).
+    SHADOW_OVERHEAD_NS = 700
+    _WRAPPED = ["mmap", "munmap", "open", "close", "dup", "sbrk", "socket_connect"]
+
+    def prepare_target(self, task: Task) -> None:
+        """Simulate launching with LD_PRELOAD=libckpt_preload.so."""
+        super().prepare_target(task)
+        shadow: Dict[str, List] = task.annotations.setdefault(
+            "preload_shadow", {"mmaps": [], "files": [], "heap_end": None}
+        )
+
+        def shadow_hook(kernel, t, name, args) -> int:
+            # Mirror the kernel-visible effect into user-space records.
+            if name == "mmap" and args:
+                shadow["mmaps"].append(args[0])
+            elif name == "munmap" and args:
+                try:
+                    shadow["mmaps"].remove(args[0])
+                except ValueError:
+                    pass
+            elif name in ("open", "dup") and args:
+                shadow["files"].append(args[0])
+            elif name == "sbrk":
+                shadow["heap_end"] = "tracked"
+            return self.SHADOW_OVERHEAD_NS
+
+        SyscallTable.interpose(task, self._WRAPPED, shadow_hook)

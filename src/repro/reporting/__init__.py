@@ -1,0 +1,5 @@
+"""Rendering helpers for tables, bars and series."""
+
+from .tables import fmt_bytes, fmt_ns, render_bars, render_series, render_table
+
+__all__ = ["render_table", "render_bars", "render_series", "fmt_bytes", "fmt_ns"]

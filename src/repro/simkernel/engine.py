@@ -1,0 +1,177 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine owns the virtual clock and an event heap.  Everything else in
+the simulated kernel -- scheduler ticks, I/O completions, signal posts,
+node failures -- is expressed as events scheduled here.  Two runs with the
+same seed and the same call sequence produce identical traces; nothing in
+the package reads wall-clock time or unseeded randomness.
+
+Times are integer nanoseconds (see :mod:`repro.simkernel.costs`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "Engine", "TraceRecord"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, sequence) for determinism."""
+
+    time_ns: int
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it is popped."""
+        self.cancelled = True
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One line of the (optional) engine trace, for debugging/analysis."""
+
+    time_ns: int
+    category: str
+    message: str
+
+
+class Engine:
+    """Event heap plus virtual clock.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the engine's :class:`numpy.random.Generator`.  All
+        stochastic behaviour in the simulation (failure processes,
+        randomized write patterns) draws from this generator or from
+        generators derived from it, so a run is reproducible end to end.
+    trace:
+        When true, keep an in-memory list of :class:`TraceRecord` entries.
+        Off by default; tracing a long simulation is memory-hungry.
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self._now_ns: int = 0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self.rng: np.random.Generator = np.random.default_rng(seed)
+        self._trace_enabled = trace
+        self.trace_log: List[TraceRecord] = []
+        self._stopped = False
+        #: Monotonic counters that subsystems bump for cheap statistics.
+        self.counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def now_ns(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_s(self) -> float:
+        """Current virtual time in seconds (for reporting only)."""
+        return self._now_ns / 1e9
+
+    def spawn_rng(self) -> np.random.Generator:
+        """Derive an independent, deterministic child generator."""
+        return np.random.default_rng(self.rng.integers(0, 2**63 - 1))
+
+    # ------------------------------------------------------------------
+    def at(self, time_ns: int, fn: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``fn`` at absolute virtual time ``time_ns``."""
+        if time_ns < self._now_ns:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time_ns} < {self._now_ns}"
+            )
+        ev = Event(int(time_ns), next(self._seq), fn, label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def after(self, delay_ns: int, fn: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``fn`` after ``delay_ns`` nanoseconds."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns}")
+        return self.at(self._now_ns + int(delay_ns), fn, label)
+
+    # ------------------------------------------------------------------
+    def trace(self, category: str, message: str) -> None:
+        """Append a trace record if tracing is enabled."""
+        if self._trace_enabled:
+            self.trace_log.append(TraceRecord(self._now_ns, category, message))
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Bump the named statistics counter."""
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the heap."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def run(
+        self,
+        until_ns: Optional[int] = None,
+        max_events: Optional[int] = None,
+        until: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Process events in order.
+
+        Parameters
+        ----------
+        until_ns:
+            Stop once the clock would pass this time (the clock is left at
+            ``until_ns`` if the heap drains or only later events remain).
+        max_events:
+            Safety valve: stop after this many events.
+        until:
+            Predicate evaluated after every event; return true to stop.
+
+        Returns
+        -------
+        int
+            The number of events processed.
+        """
+        self._stopped = False
+        processed = 0
+        while self._heap:
+            if self._stopped:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            ev = self._heap[0]
+            if ev.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until_ns is not None and ev.time_ns > until_ns:
+                self._now_ns = max(self._now_ns, int(until_ns))
+                break
+            heapq.heappop(self._heap)
+            self._now_ns = ev.time_ns
+            ev.fn()
+            processed += 1
+            if until is not None and until():
+                break
+        else:
+            if until_ns is not None:
+                self._now_ns = max(self._now_ns, int(until_ns))
+        return processed
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine t={self._now_ns}ns pending={self.pending()}>"

@@ -1,0 +1,1119 @@
+"""The simulated operating-system kernel.
+
+:class:`Kernel` ties the engine, scheduler, memory system, VFS, signals
+and syscall table into a runnable machine.  Programs (generators of
+:mod:`~repro.simkernel.ops` operations) execute under a multiprocessor
+scheduler with privilege-boundary, fault, signal, TLB, and interrupt
+costs charged per the :class:`~repro.simkernel.costs.CostModel`.
+
+The checkpoint mechanisms in :mod:`repro.mechanisms` are built *on* this
+kernel, through the same interfaces their real counterparts use: new
+system calls, new signals with kernel-mode default actions, kernel
+threads reached via ``/dev`` ioctls or ``/proc`` writes, and user-level
+signal handlers plus syscall interposition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import (
+    MemoryError_,
+    SchedulerError,
+    SignalError,
+    SimulationError,
+    SyscallError,
+)
+from .costs import CostModel, DEFAULT_COSTS
+from .engine import Engine
+from .memory import AddressSpace, PageFlag, Prot, VMA, VMAKind
+from .ops import Compute, Exit, MemRead, MemWrite, Op, Sleep, Syscall, Yield
+from .process import (
+    FileDescriptor,
+    Mode,
+    ProgramFactory,
+    SchedPolicy,
+    Task,
+    TaskState,
+)
+from .scheduler import CPU, Scheduler
+from .signals import HandlerKind, Sig, SignalHandler, default_action
+from .syscalls import SyscallResult, SyscallTable
+from .vfs import DeviceNode, File, ProcEntry, RegularFile, SocketFile, VFS
+
+__all__ = ["Kernel"]
+
+#: Default VMA layout for a freshly spawned process, modelling the paper's
+#: enumeration "code, shared libraries, data, heap, stack".
+_DEFAULT_LAYOUT: Tuple[Tuple[str, int, int, VMAKind], ...] = (
+    ("code", 256 * 1024, Prot.RX, VMAKind.CODE),
+    ("libc.so", 512 * 1024, Prot.RX, VMAKind.SHLIB),
+    ("data", 128 * 1024, Prot.RW, VMAKind.DATA),
+    ("heap", 1024 * 1024, Prot.RW, VMAKind.HEAP),
+    ("stack", 128 * 1024, Prot.RW, VMAKind.STACK),
+)
+
+
+class Kernel:
+    """A single simulated node's operating system.
+
+    Parameters
+    ----------
+    ncpus:
+        Number of processors (the kernel-thread concurrency arguments of
+        Section 4.1 need at least 2 to show).
+    costs:
+        Cost model; defaults to :data:`~repro.simkernel.costs.DEFAULT_COSTS`.
+    engine:
+        Optionally share an engine (the cluster layer runs many kernels on
+        one virtual clock).
+    node_id:
+        Identity within a cluster; stamped on tasks for migration checks.
+    """
+
+    def __init__(
+        self,
+        ncpus: int = 1,
+        costs: CostModel = DEFAULT_COSTS,
+        engine: Optional[Engine] = None,
+        seed: int = 0,
+        node_id: int = 0,
+        trace: bool = False,
+    ) -> None:
+        self.costs = costs
+        self.engine = engine if engine is not None else Engine(seed=seed, trace=trace)
+        self.node_id = node_id
+        self.vfs = VFS()
+        self.scheduler = Scheduler(costs, ncpus=ncpus)
+        self.syscalls = SyscallTable()
+        self.tasks: Dict[int, Task] = {}
+        self._next_pid = 100
+        self._tick_started = False
+        self._halted = False
+        #: Loaded kernel modules by name (see :mod:`repro.simkernel.modules`).
+        self.modules: Dict[str, Any] = {}
+        #: Extensions compiled into the static kernel (VMADump, EPCKPT ...).
+        self.builtin_extensions: List[str] = []
+        #: SysV shared-memory segments: key -> dict(size, id, attached_pids).
+        self.shm_segments: Dict[int, Dict[str, Any]] = {}
+        #: TCP ports in use on this node (restore-conflict modelling).
+        self.ports_in_use: set = set()
+        #: Hardware write tracker hook (Revive/SafetyNet models):
+        #: ``fn(task, vma, page_index, offset, length)``.
+        self.hw_tracker: Optional[Callable[[Task, VMA, int, int, int], None]] = None
+        #: Per-task itimers: pid -> (interval_ns, sig, event).
+        self._itimers: Dict[int, Dict[str, Any]] = {}
+        #: Callbacks fired when a task exits: pid -> [fn(task)].
+        self._exit_watchers: Dict[int, List[Callable[[Task], None]]] = {}
+        self._register_default_syscalls()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def alloc_pid(self) -> int:
+        """Allocate the next process id."""
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
+
+    def make_address_space(
+        self,
+        layout: Optional[Iterable[Tuple[str, int, int, VMAKind]]] = None,
+        heap_bytes: Optional[int] = None,
+    ) -> AddressSpace:
+        """Build an address space with the standard (or given) layout."""
+        mm = AddressSpace(self.costs)
+        rows = list(layout) if layout is not None else list(_DEFAULT_LAYOUT)
+        if heap_bytes is not None:
+            rows = [
+                (n, heap_bytes if n == "heap" else b, p, k) for (n, b, p, k) in rows
+            ]
+        for name, nbytes, prot, kind in rows:
+            mm.map(name, nbytes, prot=prot, kind=kind)
+        return mm
+
+    def spawn_process(
+        self,
+        name: str,
+        program_factory: Optional[ProgramFactory] = None,
+        mm: Optional[AddressSpace] = None,
+        heap_bytes: Optional[int] = None,
+        policy: SchedPolicy = SchedPolicy.OTHER,
+        static_prio: int = 120,
+        rt_prio: int = 0,
+        start: bool = True,
+        start_step: int = 0,
+        pid: Optional[int] = None,
+    ) -> Task:
+        """Create a user process and (by default) enqueue it.
+
+        ``start_step`` resumes the program at a recorded restart cursor;
+        ``pid`` forces a specific process id (UCLiK-style PID restore) --
+        it must be free.
+        """
+        if mm is None:
+            mm = self.make_address_space(heap_bytes=heap_bytes)
+        if pid is not None:
+            if pid in self.tasks:
+                raise SimulationError(f"pid {pid} already in use")
+            self._next_pid = max(self._next_pid, pid + 1)
+        task = Task(
+            pid=pid if pid is not None else self.alloc_pid(),
+            name=name,
+            mm=mm,
+            program_factory=program_factory,
+            policy=policy,
+            static_prio=static_prio,
+            rt_prio=rt_prio,
+            start_step=start_step,
+        )
+        task.node_id = self.node_id
+        self.tasks[task.pid] = task
+        self._install_kernel_signals(task)
+        if start and program_factory is not None:
+            self.scheduler.enqueue(task)
+            self._kick()
+        elif not start:
+            task.state = TaskState.STOPPED
+        return task
+
+    def spawn_kthread(
+        self,
+        name: str,
+        program_factory: ProgramFactory,
+        policy: SchedPolicy = SchedPolicy.FIFO,
+        rt_prio: int = 50,
+        start: bool = True,
+    ) -> Task:
+        """Create a kernel thread (no own address space, kernel mode)."""
+        task = Task(
+            pid=self.alloc_pid(),
+            name=name,
+            mm=None,
+            program_factory=program_factory,
+            is_kthread=True,
+            policy=policy,
+            rt_prio=rt_prio,
+        )
+        task.node_id = self.node_id
+        self.tasks[task.pid] = task
+        if start:
+            self.scheduler.enqueue(task)
+            self._kick()
+        else:
+            task.state = TaskState.STOPPED
+        return task
+
+    def task_by_pid(self, pid: int) -> Task:
+        """Look up a live task."""
+        try:
+            return self.tasks[pid]
+        except KeyError:
+            raise SimulationError(f"no task with pid {pid}") from None
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin scheduler ticks and dispatch idle CPUs."""
+        if not self._tick_started:
+            self._tick_started = True
+            self.engine.after(self.costs.tick_ns, self._tick, label="tick")
+        self._kick()
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance virtual time by ``duration_ns``."""
+        self.start()
+        self.engine.run(until_ns=self.engine.now_ns + int(duration_ns))
+
+    def run_until(self, time_ns: int) -> None:
+        """Advance virtual time to absolute ``time_ns``."""
+        self.start()
+        self.engine.run(until_ns=int(time_ns))
+
+    def run_until_exit(self, task: Task, limit_ns: int = 10**15) -> None:
+        """Run until ``task`` exits (or the safety limit trips)."""
+        self.start()
+        self.engine.run(
+            until_ns=self.engine.now_ns + int(limit_ns),
+            until=lambda: not task.alive(),
+        )
+        if task.alive():
+            raise SimulationError(f"task {task.name!r} did not exit within limit")
+
+    def _tick(self) -> None:
+        """Scheduler tick: an interrupt on every CPU."""
+        if self._halted:
+            return
+        for cpu in self.scheduler.cpus:
+            if cpu.irq_disabled:
+                cpu.deferred_irqs += 1
+                continue
+            if cpu.current is not None:
+                cpu.irq_backlog_ns += self.costs.interrupt_overhead_ns
+                cpu.current.acct.interrupts_absorbed += 1
+        self.scheduler.on_tick()
+        self._fire_itimers()
+        self._kick()
+        self.engine.after(self.costs.tick_ns, self._tick, label="tick")
+
+    def halt(self) -> None:
+        """Stop issuing ticks (node failure / power-down)."""
+        self._halted = True
+
+    def _fire_itimers(self) -> None:
+        now = self.engine.now_ns
+        for pid, it in list(self._itimers.items()):
+            if it["next_ns"] <= now:
+                task = self.tasks.get(pid)
+                if task is not None and task.alive():
+                    self.post_signal(task.pid, it["sig"])
+                if it["interval_ns"] > 0:
+                    while it["next_ns"] <= now:
+                        it["next_ns"] += it["interval_ns"]
+                else:
+                    del self._itimers[pid]
+
+    # ------------------------------------------------------------------
+    # Dispatch / execution
+    # ------------------------------------------------------------------
+    def _kick(self) -> None:
+        """Schedule dispatch on every idle CPU (coalesced per call)."""
+        for cpu in self.scheduler.cpus:
+            if cpu.current is None:
+                self.engine.after(0, lambda c=cpu: self._dispatch(c), label="dispatch")
+
+    def _dispatch(self, cpu: CPU) -> None:
+        if self._halted or cpu.current is not None:
+            return
+        task = self.scheduler.pick_next(cpu)
+        if task is None:
+            cpu.idle_since_ns = self.engine.now_ns
+            return
+        cpu.need_resched = False
+        switch_ns = self.costs.context_switch_ns
+        task.acct.context_switches += 1
+        if task.mm is not None and cpu.current_mm is not task.mm:
+            switch_ns += self.costs.address_space_switch_ns + self.costs.tlb_flush_ns
+            cpu.current_mm = task.mm
+            task.tlb_cold_pages = min(
+                task.mm.total_present_pages(), self.costs.tlb_entries
+            )
+            self.engine.count("mm_switches")
+        self.engine.after(switch_ns, lambda: self._begin_op(cpu), label="ctxswitch")
+
+    def _preempt(self, cpu: CPU, requeue: bool = True) -> None:
+        task = cpu.current
+        cpu.current = None
+        cpu.need_resched = False
+        if task is not None and requeue and task.alive():
+            self.scheduler.enqueue(task)
+        self._dispatch(cpu)
+
+    def _begin_op(self, cpu: CPU) -> None:
+        """Fetch and start the current task's next operation."""
+        task = cpu.current
+        if task is None or self._halted:
+            return
+        if task.stop_requested:
+            self._enter_stopped(task, cpu)
+            return
+        # Signal delivery happens on the kernel->user transition, i.e.
+        # before the next USER-mode op, and only outside handler frames.
+        if (
+            not task.is_kthread
+            and not task.in_handler
+            and task.top_mode() == Mode.USER
+            and task.signals.has_deliverable()
+        ):
+            if self._deliver_one_signal(task, cpu):
+                return  # task exited or stopped; CPU already re-dispatched
+        op = task.next_op()
+        if op is None:
+            self._exit_task(task, code=0)
+            return
+        self._execute(cpu, task, op)
+
+    def _execute(self, cpu: CPU, task: Task, op: Op) -> None:
+        """Compute the op's duration, apply side effects, schedule completion."""
+        duration = 0
+        result: Any = None
+        count_main = True
+        task.in_non_reentrant = bool(op.non_reentrant)
+
+        if isinstance(op, Compute):
+            duration = int(op.ns)
+
+        elif isinstance(op, MemWrite):
+            count_main = not op.continuation
+            dur = self._service_write(task, op)
+            if dur is None:
+                # Faulted into a user-level tracking handler: the fault
+                # cost is charged, the op will be retried after sigreturn.
+                duration = self.costs.page_fault_ns
+                count_main = False
+            else:
+                duration = dur
+
+        elif isinstance(op, MemRead):
+            duration = self._service_read(task, op)
+
+        elif isinstance(op, Syscall):
+            try:
+                res, duration = self.syscalls.dispatch(self, task, op.name, op.args)
+                result = res.value
+            except SyscallError as exc:
+                result = exc
+                duration = self.costs.syscall_ns()
+
+        elif isinstance(op, Sleep):
+            task.state = TaskState.SLEEPING
+            cpu.current = None
+            self.engine.after(int(op.ns), lambda: self._wake(task), label="sleep-wake")
+            self._dispatch(cpu)
+            return
+
+        elif isinstance(op, Yield):
+            task.completed_op()
+            self.scheduler.enqueue(task)
+            self._preempt(cpu, requeue=False)
+            return
+
+        elif isinstance(op, Exit):
+            self._exit_task(task, code=int(op.code))
+            return
+
+        else:
+            raise SimulationError(f"unknown op {op!r}")
+
+        duration += cpu.irq_backlog_ns
+        cpu.irq_backlog_ns = 0
+        self.engine.after(
+            max(0, duration),
+            lambda: self._complete_op(cpu, task, duration, result, count_main),
+            label="op",
+        )
+
+    def _complete_op(
+        self, cpu: CPU, task: Task, duration: int, result: Any, count_main: bool = True
+    ) -> None:
+        if self._halted:
+            return
+        task.acct.cpu_ns += duration
+        if task.mode == Mode.USER:
+            task.acct.user_ns += duration
+        else:
+            task.acct.kernel_ns += duration
+        # NOTE: ``in_non_reentrant`` is deliberately *not* cleared here: a
+        # signal delivered at the next boundary logically interrupted the
+        # op that just ran, so the reentrancy-hazard check must still see
+        # whether that op was inside malloc/free.  The next _execute()
+        # overwrites the flag.
+        if isinstance(result, Exception):
+            task.feed_result(result)
+        elif result is not None:
+            task.feed_result(result)
+        if not task.alive():
+            return
+        task.completed_op(count_main=count_main)
+        if cpu.current is not task:
+            # Task was stopped/migrated underneath us.
+            return
+        if task.stop_requested:
+            self._enter_stopped(task, cpu)
+            return
+        if self.scheduler.should_preempt(cpu):
+            self._preempt(cpu)
+            return
+        self._begin_op(cpu)
+
+    # -- memory access servicing ----------------------------------------
+    def _split_pages(self, task: Task, op: MemWrite) -> Optional[MemWrite]:
+        """If ``op`` spans pages, queue per-page segments; return first."""
+        mm = task.mm
+        if mm is None:
+            raise MemoryError_("kernel thread has no address space to write")
+        vma = mm.vma(op.vma)
+        ps = vma.page_size
+        if op.offset < 0 or op.offset + op.nbytes > vma.size_bytes:
+            raise MemoryError_(
+                f"write [{op.offset}, {op.offset + op.nbytes}) outside VMA "
+                f"{vma.name!r} of {vma.size_bytes} bytes"
+            )
+        first_page = op.offset // ps
+        last_page = (op.offset + max(op.nbytes, 1) - 1) // ps
+        if first_page == last_page:
+            return op
+        segments = []
+        off = op.offset
+        remaining = op.nbytes
+        while remaining > 0:
+            page_end = (off // ps + 1) * ps
+            chunk = min(remaining, page_end - off)
+            segments.append(
+                MemWrite(
+                    vma=op.vma,
+                    offset=off,
+                    nbytes=chunk,
+                    seed=op.seed,
+                    continuation=bool(segments) or op.continuation,
+                )
+            )
+            off += chunk
+            remaining -= chunk
+        for seg in segments[1:]:
+            task.op_queue.append(seg)
+        return segments[0]
+
+    def _service_write(self, task: Task, op: MemWrite) -> Optional[int]:
+        """Service one (single-page after split) write; None => retry later."""
+        op = self._split_pages(task, op)
+        mm = task.mm
+        vma = mm.vma(op.vma)
+        pidx = op.offset // vma.page_size
+        in_page_off = op.offset % vma.page_size
+
+        # Tracking fault reflected to a *user-level* handler (SIGSEGV)?
+        # mprotect covers the whole mapped range, so first-touch of a page
+        # that was never allocated also faults while the VMA is armed.
+        tracked_hit = vma.test(pidx, PageFlag.TRACK_WP) or (
+            vma.tracking_armed
+            and not vma.test(pidx, PageFlag.PRESENT)
+            and not vma.test(pidx, PageFlag.UNPROT)
+        )
+        if (
+            tracked_hit
+            and task.annotations.get("tracking_mode") == "user"
+            and task.mode == Mode.USER
+        ):
+            task.acct.page_faults += 1
+            task.acct.tracking_faults += 1
+            task.annotations["fault_info"] = {"vma": vma.name, "page": pidx}
+            task.retry_op = op
+            self.post_signal(task.pid, Sig.SIGSEGV)
+            return None
+
+        duration = 0
+        outcome = mm.write_access(vma, pidx, in_page_off, op.nbytes)
+        if outcome.allocated:
+            duration += self.costs.page_fault_ns + self.costs.page_alloc_ns
+            task.acct.page_faults += 1
+        if outcome.cow_copied:
+            duration += self.costs.page_fault_ns + self.costs.memcpy_ns(
+                vma.page_size
+            )
+            task.acct.page_faults += 1
+            task.acct.cow_copies += 1
+        if outcome.tracking_fault:
+            # System-level tracking: the fault handler logs the dirty page
+            # directly and unprotects -- no signal, no user frame.
+            duration += self.costs.page_fault_ns + 200
+            task.acct.page_faults += 1
+            task.acct.tracking_faults += 1
+            vma.clear_flag(pidx, PageFlag.TRACK_WP)
+            log = task.annotations.get("dirty_log")
+            if log is not None:
+                log.record(vma.name, pidx)
+        if task.tlb_cold_pages > 0:
+            duration += self.costs.tlb_refill_per_entry_ns
+            task.acct.tlb_refill_ns += self.costs.tlb_refill_per_entry_ns
+            task.tlb_cold_pages -= 1
+        mm.fill_pattern(vma, pidx, in_page_off, op.nbytes, op.seed)
+        duration += self.costs.memcpy_ns(op.nbytes)
+        if self.hw_tracker is not None:
+            self.hw_tracker(task, vma, pidx, in_page_off, op.nbytes)
+        return duration
+
+    def _service_read(self, task: Task, op: MemRead) -> int:
+        mm = task.mm
+        if mm is None:
+            raise MemoryError_("kernel thread has no address space to read")
+        vma = mm.vma(op.vma)
+        if op.offset < 0 or op.offset + op.nbytes > vma.size_bytes:
+            raise MemoryError_(f"read outside VMA {vma.name!r}")
+        duration = self.costs.memcpy_ns(op.nbytes)
+        first = op.offset // vma.page_size
+        last = (op.offset + max(op.nbytes, 1) - 1) // vma.page_size
+        for pidx in range(first, last + 1):
+            _, allocated = vma.ensure_page(pidx)
+            if allocated:
+                duration += self.costs.page_fault_ns + self.costs.page_alloc_ns
+                task.acct.page_faults += 1
+            vma.set_flag(pidx, PageFlag.ACCESSED)
+            if task.tlb_cold_pages > 0:
+                duration += self.costs.tlb_refill_per_entry_ns
+                task.acct.tlb_refill_ns += self.costs.tlb_refill_per_entry_ns
+                task.tlb_cold_pages -= 1
+        return duration
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def post_signal(self, pid: int, sig: Sig, sender: Optional[Task] = None) -> None:
+        """Queue ``sig`` for ``pid`` (the ``kill()`` path).
+
+        A system-level initiator may instead "directly updat[e] the data
+        structure of the process" -- call with ``sender=None`` for that
+        free path; user-mode senders go through the ``kill`` syscall which
+        charges them.
+        """
+        task = self.task_by_pid(pid)
+        if not task.alive():
+            return
+        task.signals.post(sig)
+        self.engine.count(f"signal_post_{Sig(sig).name}")
+        if task.state == TaskState.SLEEPING:
+            self._wake(task)
+        elif task.state == TaskState.STOPPED and sig == Sig.SIGCONT:
+            self.resume_task(task)
+        self._kick()
+
+    def _deliver_one_signal(self, task: Task, cpu: CPU) -> bool:
+        """Deliver the next signal; True if the task lost the CPU."""
+        sig = task.signals.take_deliverable()
+        if sig is None:
+            return False
+        task.acct.signals_received += 1
+        handler = task.signals.disposition(sig)
+        if handler.kind == HandlerKind.IGNORE:
+            return False
+        if handler.kind == HandlerKind.USER:
+            if handler.uses_non_reentrant and task.in_non_reentrant:
+                task.signals.reentrancy_hazards += 1
+                self.engine.count("reentrancy_hazards")
+            cpu.irq_backlog_ns += self.costs.signal_deliver_user_ns
+            task.acct.mode_switches += 2
+            task.push_frame(handler.program_factory(task), Mode.USER)
+            return False
+        if handler.kind == HandlerKind.KERNEL:
+            cpu.irq_backlog_ns += self.costs.signal_deliver_kernel_ns
+            handler.kernel_action(task)
+            return False
+        # DEFAULT disposition
+        action = default_action(sig)
+        if action == "ignore":
+            return False
+        if action == "stop":
+            self._enter_stopped(task, cpu)
+            return True
+        self._exit_task(task, code=128 + int(sig))
+        return True
+
+    def register_handler(self, task: Task, sig: Sig, handler: SignalHandler) -> None:
+        """Install a signal handler from kernel context (no syscall cost)."""
+        task.signals.register(sig, handler)
+
+    def add_kernel_signal(self, sig: Sig, action: Callable[[Task], None], label: str = "") -> None:
+        """Give ``sig`` a *kernel-mode default action* for every task.
+
+        This models EPCKPT/CHPOX/Software-Suspend adding a new signal to
+        the kernel whose default action checkpoints (or freezes) the
+        process -- no per-task registration needed.
+        """
+        self._kernel_signal_actions = getattr(self, "_kernel_signal_actions", {})
+        self._kernel_signal_actions[sig] = (action, label)
+        # Implemented by installing the handler lazily at post time via a
+        # monkeypatch-free hook: we wrap post_signal's lookup instead.
+        for task in self.tasks.values():
+            if not task.is_kthread:
+                task.signals.handlers.setdefault(
+                    sig,
+                    SignalHandler(kind=HandlerKind.KERNEL, kernel_action=action, label=label),
+                )
+
+    def remove_kernel_signal(self, sig: Sig) -> None:
+        """Remove a kernel-added signal action (module unload)."""
+        actions = getattr(self, "_kernel_signal_actions", {})
+        actions.pop(sig, None)
+        for task in self.tasks.values():
+            h = task.signals.handlers.get(sig)
+            if h is not None and h.kind == HandlerKind.KERNEL:
+                del task.signals.handlers[sig]
+
+    def _install_kernel_signals(self, task: Task) -> None:
+        for sig, (action, label) in getattr(self, "_kernel_signal_actions", {}).items():
+            task.signals.handlers.setdefault(
+                sig,
+                SignalHandler(kind=HandlerKind.KERNEL, kernel_action=action, label=label),
+            )
+
+    # ------------------------------------------------------------------
+    # Task state control
+    # ------------------------------------------------------------------
+    def _wake(self, task: Task) -> None:
+        if not task.alive():
+            return
+        if task.state == TaskState.SLEEPING:
+            if task.stop_requested:
+                task.state = TaskState.STOPPED
+                task.stop_requested = False
+                return
+            self.scheduler.enqueue(task)
+            self._kick()
+
+    def _enter_stopped(self, task: Task, cpu: Optional[CPU]) -> None:
+        task.stop_requested = False
+        task.state = TaskState.STOPPED
+        self.scheduler.dequeue(task)
+        if cpu is not None and cpu.current is task:
+            cpu.current = None
+            self._dispatch(cpu)
+
+    def stop_task(self, task: Task) -> None:
+        """Freeze a task at its next op boundary (checkpoint consistency).
+
+        The paper: "a mechanism to stop the application is necessary (like
+        removing the application from its runqueue list) in order to
+        guarantee data consistency."
+        """
+        if not task.alive():
+            return
+        if task.state == TaskState.READY:
+            self._enter_stopped(task, None)
+        elif task.state == TaskState.RUNNING:
+            task.stop_requested = True
+        elif task.state == TaskState.SLEEPING:
+            task.stop_requested = True  # parks STOPPED on wake
+        task.annotations["stop_time_ns"] = self.engine.now_ns
+
+    def resume_task(self, task: Task) -> None:
+        """Unfreeze a STOPPED task."""
+        if not task.alive() and task.state != TaskState.STOPPED:
+            return
+        if task.state == TaskState.STOPPED:
+            t0 = task.annotations.pop("stop_time_ns", None)
+            if t0 is not None:
+                task.acct.stall_ns += self.engine.now_ns - t0
+            self.scheduler.enqueue(task)
+            self._kick()
+
+    def _exit_task(self, task: Task, code: int) -> None:
+        task.exit_code = code
+        task.state = TaskState.ZOMBIE
+        self.scheduler.dequeue(task)
+        for cpu in self.scheduler.cpus:
+            if cpu.current is task:
+                cpu.current = None
+                self._dispatch(cpu)
+        if task.parent is not None and task.parent.alive():
+            task.parent.signals.post(Sig.SIGCHLD)
+        for fn in self._exit_watchers.pop(task.pid, []):
+            fn(task)
+        self._itimers.pop(task.pid, None)
+        self.engine.count("task_exits")
+
+    def on_exit(self, task: Task, fn: Callable[[Task], None]) -> None:
+        """Register a callback fired when ``task`` exits."""
+        if not task.alive():
+            fn(task)
+            return
+        self._exit_watchers.setdefault(task.pid, []).append(fn)
+
+    def reap(self, task: Task) -> int:
+        """Collect a zombie; returns exit code."""
+        if task.state != TaskState.ZOMBIE:
+            raise SimulationError(f"task {task.name!r} is not a zombie")
+        task.state = TaskState.DEAD
+        self.tasks.pop(task.pid, None)
+        return task.exit_code if task.exit_code is not None else -1
+
+    # ------------------------------------------------------------------
+    # fork / kthread mm attach
+    # ------------------------------------------------------------------
+    def do_fork(
+        self,
+        parent: Task,
+        child_program_factory: Optional[ProgramFactory] = None,
+        stopped: bool = True,
+    ) -> Tuple[Task, int]:
+        """Fork ``parent``; returns (child, cost_ns).
+
+        The child's address space is COW-shared; this is the consistency
+        device of the concurrent "Checkpoint" mechanism [5] and of
+        libckpt's forked checkpoints: the frozen child preserves the
+        instantaneous image while the parent keeps running.
+        """
+        child_mm = parent.mm.fork()
+        child = Task(
+            pid=self.alloc_pid(),
+            name=f"{parent.name}-child",
+            mm=child_mm,
+            program_factory=child_program_factory,
+            policy=parent.policy,
+            static_prio=parent.static_prio,
+            rt_prio=parent.rt_prio,
+            uid=parent.uid,
+        )
+        child.node_id = self.node_id
+        child.parent = parent
+        parent.children.append(child)
+        # Duplicate descriptor table (offsets copied; files shared).
+        for fd, fdesc in parent.fds.items():
+            child.install_fd(
+                FileDescriptor(
+                    fd=fd,
+                    file=fdesc.file,
+                    offset=fdesc.offset,
+                    flags=fdesc.flags,
+                    cloexec=fdesc.cloexec,
+                )
+            )
+            fdesc.file.refcount += 1
+        child.signals.blocked = set(parent.signals.blocked)
+        child.signals.handlers = dict(parent.signals.handlers)
+        child.main_steps = parent.main_steps
+        self.tasks[child.pid] = child
+        cost = self.costs.fork_fixed_ns + self.costs.fork_per_page_ns * (
+            parent.mm.total_present_pages()
+        )
+        if stopped or child_program_factory is None:
+            child.state = TaskState.STOPPED
+        else:
+            self.scheduler.enqueue(child)
+            self._kick()
+        self.engine.count("forks")
+        return child, cost
+
+    def kthread_attach_mm(self, kthread: Task, target: Task) -> int:
+        """Attach a kernel thread to ``target``'s page tables; returns cost.
+
+        If the CPU running the kthread already holds the target's mm (the
+        kthread "interrupt[ed] the application it wants to checkpoint"),
+        the attach is free; otherwise it pays an address-space switch plus
+        a TLB flush, and the displaced working set reloads cold.
+        """
+        cpu = self._cpu_of(kthread)
+        if cpu is None:
+            raise SchedulerError("kthread is not running on any CPU")
+        if cpu.current_mm is target.mm:
+            return 0
+        cost = self.costs.address_space_switch_ns + self.costs.tlb_flush_ns
+        displaced = cpu.current_mm
+        cpu.current_mm = target.mm
+        if displaced is not None:
+            for t in self.tasks.values():
+                if t.mm is displaced:
+                    t.tlb_cold_pages = min(
+                        displaced.total_present_pages(), self.costs.tlb_entries
+                    )
+        self.engine.count("kthread_mm_switches")
+        return cost
+
+    def _cpu_of(self, task: Task) -> Optional[CPU]:
+        for cpu in self.scheduler.cpus:
+            if cpu.current is task:
+                return cpu
+        return None
+
+    # ------------------------------------------------------------------
+    # Interrupt control (paper: defer interrupts during checkpoint)
+    # ------------------------------------------------------------------
+    def disable_irqs_for(self, task: Task) -> bool:
+        """Disable interrupts on the CPU running ``task``; True on success."""
+        cpu = self._cpu_of(task)
+        if cpu is None:
+            return False
+        cpu.irq_disabled = True
+        return True
+
+    def enable_irqs_for(self, task: Task) -> int:
+        """Re-enable interrupts; returns how many were deferred."""
+        cpu = self._cpu_of(task)
+        if cpu is None:
+            return 0
+        cpu.irq_disabled = False
+        deferred = cpu.deferred_irqs
+        cpu.deferred_irqs = 0
+        # Deferred interrupts are replayed as a burst of backlog.
+        cpu.irq_backlog_ns += deferred * self.costs.interrupt_overhead_ns
+        return deferred
+
+    def enable_irq_noise(self, rate_hz: float) -> None:
+        """Generate Poisson device interrupts at ``rate_hz`` per CPU."""
+        if rate_hz <= 0:
+            return
+        rng = self.engine.spawn_rng()
+        mean_gap_ns = 1e9 / rate_hz
+
+        def arrival(cpu: CPU) -> None:
+            if self._halted:
+                return
+            if cpu.irq_disabled:
+                cpu.deferred_irqs += 1
+            elif cpu.current is not None:
+                cpu.irq_backlog_ns += self.costs.interrupt_overhead_ns
+                cpu.current.acct.interrupts_absorbed += 1
+            gap = max(1, int(rng.exponential(mean_gap_ns)))
+            self.engine.after(gap, lambda: arrival(cpu), label="dev-irq")
+
+        for cpu in self.scheduler.cpus:
+            gap = max(1, int(rng.exponential(mean_gap_ns)))
+            self.engine.after(gap, lambda c=cpu: arrival(c), label="dev-irq")
+
+    # ------------------------------------------------------------------
+    # Direct kernel-side state access (system-level checkpointers)
+    # ------------------------------------------------------------------
+    def read_task_struct(self, task: Task) -> Dict[str, Any]:
+        """Everything a system-level checkpointer reads "for free".
+
+        "In kernel space every data structure relevant to a process's
+        state is readily accessible: these include registers, memory
+        regions, file descriptors, signal state, and more."
+        """
+        return {
+            "pid": task.pid,
+            "name": task.name,
+            "uid": task.uid,
+            "registers": task.registers.snapshot(),
+            "main_steps": task.main_steps,
+            "policy": task.policy.value,
+            "static_prio": task.static_prio,
+            "vmas": [
+                {
+                    "name": v.name,
+                    "start": v.start,
+                    "npages": v.npages,
+                    "prot": v.prot,
+                    "kind": v.kind.value,
+                    "shared": v.shared,
+                    "file_path": v.file_path,
+                    "shm_key": v.shm_key,
+                }
+                for v in task.mm.vmas
+            ]
+            if task.mm is not None
+            else [],
+            "fds": [fd.snapshot() for fd in task.fds.values()],
+            "signals": task.signals.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # Default system calls
+    # ------------------------------------------------------------------
+    def _register_default_syscalls(self) -> None:
+        t = self.syscalls
+
+        def sc(name):
+            def deco(fn):
+                t.register(name, fn)
+                return fn
+
+            return deco
+
+        @sc("getpid")
+        def _getpid(k, task):
+            return SyscallResult(task.pid, 50)
+
+        @sc("sbrk")
+        def _sbrk(k, task, delta=0):
+            heap = task.mm.vma("heap")
+            if delta:
+                k_new = heap.size_bytes + int(delta)
+                task.mm.resize("heap", k_new)
+            return SyscallResult(task.mm.vma("heap").end, 150)
+
+        @sc("mmap")
+        def _mmap(k, task, name, nbytes, prot=Prot.RW, kind=VMAKind.ANON, shared=False):
+            vma = task.mm.map(name, nbytes, prot=prot, kind=VMAKind(kind), shared=shared)
+            return SyscallResult(vma.start, 800)
+
+        @sc("munmap")
+        def _munmap(k, task, name):
+            task.mm.unmap(name)
+            return SyscallResult(0, 600)
+
+        @sc("mprotect")
+        def _mprotect(k, task, vma_name, action, page=None):
+            """Tracking-oriented mprotect.
+
+            ``action``: ``"arm"`` write-protects all present pages of the
+            VMA for dirty tracking; ``"unprotect"`` clears TRACK_WP on one
+            page (the user-level SIGSEGV handler's fix-up); ``"disarm"``
+            clears the whole VMA.
+            """
+            vma = task.mm.vma(vma_name)
+            if action == "arm":
+                present = (vma.flags & PageFlag.PRESENT) != 0
+                armed = int(present.sum())
+                vma.flags[present] |= PageFlag.TRACK_WP
+                vma.flags[present] &= ~PageFlag.DIRTY & 0xFF
+                vma.flags &= ~PageFlag.UNPROT & 0xFF
+                vma.tracking_armed = True
+                return SyscallResult(armed, 300 + 15 * armed)
+            if action == "unprotect":
+                vma.clear_flag(int(page), PageFlag.TRACK_WP)
+                vma.set_flag(int(page), PageFlag.UNPROT)
+                return SyscallResult(0, 300)
+            if action == "disarm":
+                vma.flags &= ~PageFlag.TRACK_WP & 0xFF
+                vma.tracking_armed = False
+                return SyscallResult(0, 300)
+            raise SyscallError(f"mprotect: unknown action {action!r}")
+
+        @sc("open")
+        def _open(k, task, path, create=False):
+            if not k.vfs.exists(path) and create:
+                k.vfs.create(path)
+            f = k.vfs.lookup(path)
+            fd = task.alloc_fd()
+            task.install_fd(FileDescriptor(fd=fd, file=f))
+            f.refcount += 1
+            return SyscallResult(fd, 400)
+
+        @sc("close")
+        def _close(k, task, fd):
+            fdesc = task.fds.pop(int(fd), None)
+            if fdesc is None:
+                raise SyscallError(f"close: bad fd {fd}")
+            fdesc.file.refcount -= 1
+            return SyscallResult(0, 200)
+
+        @sc("dup")
+        def _dup(k, task, fd):
+            src = task.fds.get(int(fd))
+            if src is None:
+                raise SyscallError(f"dup: bad fd {fd}")
+            nfd = task.alloc_fd()
+            task.install_fd(
+                FileDescriptor(fd=nfd, file=src.file, offset=src.offset, flags=src.flags)
+            )
+            src.file.refcount += 1
+            return SyscallResult(nfd, 250)
+
+        @sc("lseek")
+        def _lseek(k, task, fd, offset=0, whence="cur"):
+            fdesc = task.fds.get(int(fd))
+            if fdesc is None:
+                raise SyscallError(f"lseek: bad fd {fd}")
+            if whence == "set":
+                fdesc.offset = int(offset)
+            elif whence == "cur":
+                fdesc.offset += int(offset)
+            elif whence == "end":
+                fdesc.offset = fdesc.file.size + int(offset)
+            else:
+                raise SyscallError(f"lseek: bad whence {whence!r}")
+            return SyscallResult(fdesc.offset, 150)
+
+        @sc("read")
+        def _read(k, task, fd, nbytes):
+            fdesc = task.fds.get(int(fd))
+            if fdesc is None:
+                raise SyscallError(f"read: bad fd {fd}")
+            data = fdesc.file.read(fdesc.offset, int(nbytes))
+            fdesc.offset += len(data)
+            return SyscallResult(data, 300 + k.costs.memcpy_ns(len(data)))
+
+        @sc("write")
+        def _write(k, task, fd, data):
+            fdesc = task.fds.get(int(fd))
+            if fdesc is None:
+                raise SyscallError(f"write: bad fd {fd}")
+            payload = data if isinstance(data, (bytes, bytearray)) else bytes(int(data))
+            n = fdesc.file.write(fdesc.offset, bytes(payload))
+            fdesc.offset += n
+            return SyscallResult(n, 300 + k.costs.memcpy_ns(n))
+
+        @sc("unlink")
+        def _unlink(k, task, path):
+            k.vfs.unlink(path)
+            return SyscallResult(0, 350)
+
+        @sc("ioctl")
+        def _ioctl(k, task, fd, cmd, arg=None):
+            fdesc = task.fds.get(int(fd))
+            if fdesc is None:
+                raise SyscallError(f"ioctl: bad fd {fd}")
+            value = fdesc.file.ioctl(task, cmd, arg)
+            return SyscallResult(value, 500)
+
+        @sc("kill")
+        def _kill(k, task, pid, sig):
+            k.post_signal(int(pid), Sig(sig))
+            return SyscallResult(0, k.costs.signal_post_ns)
+
+        @sc("sigaction")
+        def _sigaction(k, task, sig, handler):
+            task.signals.register(Sig(sig), handler)
+            return SyscallResult(0, 250)
+
+        @sc("sigpending")
+        def _sigpending(k, task):
+            return SyscallResult(list(task.signals.pending), 150)
+
+        @sc("sigprocmask")
+        def _sigprocmask(k, task, how, sigs):
+            sigset = {Sig(s) for s in sigs}
+            if how == "block":
+                task.signals.blocked |= sigset
+            elif how == "unblock":
+                task.signals.blocked -= sigset
+            elif how == "set":
+                task.signals.blocked = sigset
+            else:
+                raise SyscallError(f"sigprocmask: bad how {how!r}")
+            return SyscallResult(0, 200)
+
+        @sc("setitimer")
+        def _setitimer(k, task, interval_ns, sig=Sig.SIGALRM, first_ns=None):
+            first = int(first_ns) if first_ns is not None else int(interval_ns)
+            k._itimers[task.pid] = {
+                "interval_ns": int(interval_ns),
+                "sig": Sig(sig),
+                "next_ns": k.engine.now_ns + first,
+            }
+            return SyscallResult(0, 300)
+
+        @sc("fork")
+        def _fork(k, task, child_factory=None):
+            child, cost = k.do_fork(task, child_program_factory=child_factory)
+            return SyscallResult(child.pid, cost)
+
+        @sc("sched_setscheduler")
+        def _setsched(k, task, pid, policy, rt_prio=0):
+            target = k.task_by_pid(int(pid))
+            target.policy = SchedPolicy(policy)
+            target.rt_prio = int(rt_prio)
+            return SyscallResult(0, 400)
+
+        @sc("shmget")
+        def _shmget(k, task, key, nbytes):
+            seg = k.shm_segments.setdefault(
+                int(key), {"size": int(nbytes), "id": 0x5000 + len(k.shm_segments), "attached": set()}
+            )
+            return SyscallResult(seg["id"], 500)
+
+        @sc("shmat")
+        def _shmat(k, task, key):
+            seg = k.shm_segments.get(int(key))
+            if seg is None:
+                raise SyscallError(f"shmat: no segment with key {key}")
+            name = f"shm:{key}"
+            if not task.mm.has_vma(name):
+                task.mm.map(
+                    name, seg["size"], prot=Prot.RW, kind=VMAKind.SHM,
+                    shared=True, shm_key=int(key),
+                )
+            seg["attached"].add(task.pid)
+            return SyscallResult(task.mm.vma(name).start, 700)
+
+        @sc("socket_connect")
+        def _socket_connect(k, task, remote_addr, local_port):
+            if int(local_port) in k.ports_in_use:
+                raise SyscallError(f"port {local_port} in use")
+            k.ports_in_use.add(int(local_port))
+            sockpath = f"socket:[{task.pid}:{local_port}]"
+            sock = SocketFile(sockpath, int(local_port), str(remote_addr))
+            fd = task.alloc_fd()
+            task.install_fd(FileDescriptor(fd=fd, file=sock))
+            sock.refcount += 1
+            return SyscallResult(fd, 900)
+
+        @sc("nanosleep")
+        def _nanosleep(k, task, ns):
+            # Modelled via the Sleep op; syscall form kept for API parity.
+            raise SyscallError("use the Sleep op instead of nanosleep")
+
+        @sc("uname")
+        def _uname(k, task):
+            return SyscallResult({"node_id": k.node_id, "sysname": "simlinux"}, 100)

@@ -1,0 +1,155 @@
+"""Simulated POSIX-style signals, including checkpoint-specific ones.
+
+The paper's taxonomy leans heavily on signal semantics:
+
+* User-level packages hook *general-purpose* signals (SIGALRM for
+  libckpt/Esky timers, SIGUSR1/SIGUSR2/SIGUNUSED for Condor) and run the
+  checkpoint in a **user-mode handler**, which (a) is deferred until the
+  kernel next returns to user mode in that task's context, (b) pays user
+  frame setup + ``sigreturn``, and (c) is unsafe if it calls non-reentrant
+  libc functions (``malloc``/``free``) while the interrupted code was
+  inside them.
+* Kernel-mode-signal packages (EPCKPT, CHPOX's SIGSYS, Software Suspend's
+  freeze signal) add a **new signal whose default action runs in the
+  kernel** -- no user frame, but delivery is still deferred to the next
+  kernel->user transition of the target task, so latency depends on system
+  load (experiment E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from ..errors import SignalError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .process import Task
+
+__all__ = ["Sig", "HandlerKind", "SignalHandler", "SignalState"]
+
+
+class Sig(IntEnum):
+    """Signal numbers.  31 and below are standard; above are the "new
+    kernel signals" the surveyed system-level packages introduce."""
+
+    SIGKILL = 9
+    SIGUSR1 = 10
+    SIGSEGV = 11
+    SIGUSR2 = 12
+    SIGALRM = 14
+    SIGCHLD = 17
+    SIGCONT = 18
+    SIGSTOP = 19
+    SIGUNUSED = 30
+    SIGSYS = 31  # CHPOX hooks this one
+    # -- signals added to the kernel by checkpoint packages --
+    SIGCKPT = 33  # EPCKPT-style dedicated checkpoint signal
+    SIGFREEZE = 34  # Software Suspend's freeze-everything signal
+
+
+class HandlerKind(str, Enum):
+    """How a signal is acted upon when delivered."""
+
+    DEFAULT = "default"  # built-in default action (term/ignore/stop)
+    IGNORE = "ignore"
+    USER = "user"  # user-mode handler: frame setup + deferred + sigreturn
+    KERNEL = "kernel"  # kernel-mode action: runs in kernel on delivery
+
+
+@dataclass
+class SignalHandler:
+    """Registered disposition for one signal.
+
+    ``program_factory`` (USER handlers) builds a generator of ops to run in
+    user mode; ``kernel_action`` (KERNEL handlers) is invoked inside the
+    kernel and may itself start a kernel activity (e.g. a checkpoint).
+    ``uses_non_reentrant`` marks handlers that call ``malloc``/``free`` --
+    the hazard the paper warns about for user-level checkpointing.
+    """
+
+    kind: HandlerKind
+    program_factory: Optional[Callable[["Task"], object]] = None
+    kernel_action: Optional[Callable[["Task"], None]] = None
+    uses_non_reentrant: bool = False
+    label: str = ""
+
+
+#: Signals whose built-in default action terminates the process.
+_DEFAULT_FATAL = {Sig.SIGKILL, Sig.SIGSEGV, Sig.SIGUSR1, Sig.SIGUSR2, Sig.SIGALRM, Sig.SIGSYS}
+_DEFAULT_IGNORED = {Sig.SIGCHLD, Sig.SIGCONT, Sig.SIGUNUSED}
+_DEFAULT_STOP = {Sig.SIGSTOP, Sig.SIGFREEZE}
+
+
+def default_action(sig: Sig) -> str:
+    """Built-in default for ``sig``: ``"terminate"``/``"ignore"``/``"stop"``."""
+    if sig in _DEFAULT_FATAL:
+        return "terminate"
+    if sig in _DEFAULT_STOP:
+        return "stop"
+    if sig in _DEFAULT_IGNORED:
+        return "ignore"
+    return "terminate"
+
+
+@dataclass
+class SignalState:
+    """Per-task signal bookkeeping, part of the checkpointable state.
+
+    The paper notes that a user-level checkpointer must call
+    ``sigpending()`` (one more syscall) to learn what is recorded here,
+    while the kernel reads it directly from the task structure.
+    """
+
+    pending: List[Sig] = field(default_factory=list)
+    blocked: set = field(default_factory=set)
+    handlers: Dict[Sig, SignalHandler] = field(default_factory=dict)
+    #: Count of reentrancy hazards observed (user handler using malloc/free
+    #: delivered while the main program was inside malloc/free).
+    reentrancy_hazards: int = 0
+
+    def post(self, sig: Sig) -> None:
+        """Queue ``sig`` (idempotent for already-pending classic signals)."""
+        if sig not in self.pending:
+            self.pending.append(sig)
+
+    def take_deliverable(self) -> Optional[Sig]:
+        """Pop the first pending, unblocked signal (None if there is none).
+
+        SIGKILL and SIGSTOP cannot be blocked, matching POSIX.
+        """
+        for i, sig in enumerate(self.pending):
+            if sig in (Sig.SIGKILL, Sig.SIGSTOP) or sig not in self.blocked:
+                return self.pending.pop(i)
+        return None
+
+    def has_deliverable(self) -> bool:
+        """Whether any pending signal could be delivered right now."""
+        return any(
+            sig in (Sig.SIGKILL, Sig.SIGSTOP) or sig not in self.blocked
+            for sig in self.pending
+        )
+
+    def disposition(self, sig: Sig) -> SignalHandler:
+        """Effective handler for ``sig`` (synthesizing DEFAULT if unset)."""
+        h = self.handlers.get(sig)
+        if h is not None:
+            return h
+        return SignalHandler(kind=HandlerKind.DEFAULT)
+
+    def register(self, sig: Sig, handler: SignalHandler) -> None:
+        """Install a handler (``sigaction`` equivalent)."""
+        if sig in (Sig.SIGKILL, Sig.SIGSTOP):
+            raise SignalError(f"{sig.name} cannot be caught")
+        self.handlers[sig] = handler
+
+    def snapshot(self) -> dict:
+        """Serializable view (for checkpoint images)."""
+        return {
+            "pending": [int(s) for s in self.pending],
+            "blocked": sorted(int(s) for s in self.blocked),
+            "handlers": {
+                int(sig): h.label or h.kind.value for sig, h in self.handlers.items()
+            },
+        }

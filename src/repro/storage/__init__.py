@@ -1,0 +1,24 @@
+"""Stable-storage backends and device models for checkpoint data."""
+
+from .backends import (
+    LocalDiskStorage,
+    MemoryStorage,
+    NullStorage,
+    RemoteStorage,
+    StorageBackend,
+    StorageKind,
+)
+from .devices import Device, disk_device, memory_device, network_device
+
+__all__ = [
+    "StorageBackend",
+    "StorageKind",
+    "LocalDiskStorage",
+    "RemoteStorage",
+    "MemoryStorage",
+    "NullStorage",
+    "Device",
+    "disk_device",
+    "memory_device",
+    "network_device",
+]

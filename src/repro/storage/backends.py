@@ -1,0 +1,185 @@
+"""Stable-storage backends: the Table 1 "stable storage" axis.
+
+The paper's fault-tolerance critique (Section 4.1): "Most store the
+checkpoint locally instead of remotely, thus checkpoint data cannot be
+retrieved in case of a failure of the machine.  Fault tolerance is
+limited to the case of restarts in the event of power outages or
+reboots."  The backends encode exactly those semantics:
+
+* :class:`LocalDiskStorage` -- survives a *reboot* of its node but is
+  unreachable while the node is failed (experiment E13).
+* :class:`RemoteStorage` -- survives the death of any compute node; costs
+  network bandwidth.
+* :class:`MemoryStorage` -- Software Suspend's standby mode: an image in
+  RAM; lost on power loss.
+* :class:`NullStorage` -- "none" in Table 1 (BPROC, ZAP): state is
+  streamed to a peer for migration, never persisted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..errors import StorageError, StorageLostError
+from .devices import Device, disk_device, memory_device, network_device
+
+__all__ = [
+    "StorageKind",
+    "StorageBackend",
+    "LocalDiskStorage",
+    "RemoteStorage",
+    "MemoryStorage",
+    "NullStorage",
+]
+
+
+class StorageKind(str, Enum):
+    """Where checkpoint data lands (Table 1 vocabulary)."""
+
+    LOCAL = "local"
+    REMOTE = "remote"
+    MEMORY = "memory"
+    NONE = "none"
+
+
+class StorageBackend:
+    """Abstract key -> blob store with virtual-time accounting.
+
+    ``store``/``load`` return the I/O delay the caller must charge (by
+    yielding a ``Compute`` op of that duration, since all surveyed
+    packages write synchronously).
+    """
+
+    kind: StorageKind = StorageKind.NONE
+    #: Whether data outlives a fail-stop of the node that wrote it.
+    survives_node_failure: bool = False
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self._blobs: Dict[str, Tuple[Any, int]] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # ------------------------------------------------------------------
+    def store(self, key: str, obj: Any, nbytes: int, now_ns: int) -> int:
+        """Persist ``obj`` (accounted as ``nbytes``); returns delay_ns."""
+        self._check_available()
+        delay = self.device.submit(now_ns, nbytes)
+        self._blobs[key] = (obj, nbytes)
+        self.bytes_written += nbytes
+        return delay
+
+    def load(self, key: str, now_ns: int) -> Tuple[Any, int]:
+        """Fetch ``obj``; returns (obj, delay_ns)."""
+        self._check_available()
+        try:
+            obj, nbytes = self._blobs[key]
+        except KeyError:
+            raise StorageError(f"no blob stored under {key!r}") from None
+        delay = self.device.submit(now_ns, nbytes)
+        self.bytes_read += nbytes
+        return obj, delay
+
+    def exists(self, key: str) -> bool:
+        """Whether ``key`` is retrievable right now."""
+        try:
+            self._check_available()
+        except StorageLostError:
+            return False
+        return key in self._blobs
+
+    def delete(self, key: str) -> None:
+        """Drop a blob (old checkpoint garbage collection)."""
+        self._blobs.pop(key, None)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate stored keys."""
+        return iter(sorted(self._blobs))
+
+    def stored_bytes(self) -> int:
+        """Total bytes currently held."""
+        return sum(n for _, n in self._blobs.values())
+
+    def _check_available(self) -> None:
+        """Subclasses raise :class:`StorageLostError` when unreachable."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.kind.value} blobs={len(self._blobs)}>"
+
+
+class LocalDiskStorage(StorageBackend):
+    """Node-local disk: fast-ish, but dies (temporarily) with the node."""
+
+    kind = StorageKind.LOCAL
+    survives_node_failure = False
+
+    def __init__(self, node_id: int = 0, device: Optional[Device] = None) -> None:
+        super().__init__(device or disk_device(f"disk[node{node_id}]"))
+        self.node_id = node_id
+        self._node_failed = False
+
+    def mark_node_failed(self) -> None:
+        """Fail-stop of the owning node: blobs become unreachable."""
+        self._node_failed = True
+
+    def mark_node_recovered(self, data_survived: bool = True) -> None:
+        """Reboot/repair: data survives a power-cycle, not a disk loss."""
+        self._node_failed = False
+        if not data_survived:
+            self._blobs.clear()
+
+    def _check_available(self) -> None:
+        if self._node_failed:
+            raise StorageLostError(
+                f"local disk of failed node {self.node_id} is unreachable"
+            )
+
+
+class RemoteStorage(StorageBackend):
+    """Network-attached stable storage (the paper's recommended target)."""
+
+    kind = StorageKind.REMOTE
+    survives_node_failure = True
+
+    def __init__(self, device: Optional[Device] = None) -> None:
+        super().__init__(device or network_device("nic[remote-store]"))
+
+
+class MemoryStorage(StorageBackend):
+    """RAM staging (Software Suspend standby): gone on power loss."""
+
+    kind = StorageKind.MEMORY
+    survives_node_failure = False
+
+    def __init__(self, device: Optional[Device] = None) -> None:
+        super().__init__(device or memory_device())
+        self._powered = True
+
+    def power_loss(self) -> None:
+        """Drop everything (standby images do not survive power-down)."""
+        self._blobs.clear()
+        self._powered = True  # RAM itself is fine afterwards
+
+
+class NullStorage(StorageBackend):
+    """Table 1 "none": nothing is persisted (pure migration pipes)."""
+
+    kind = StorageKind.NONE
+    survives_node_failure = False
+
+    def __init__(self, device: Optional[Device] = None) -> None:
+        super().__init__(device or network_device("nic[migrate]"))
+
+    def store(self, key: str, obj: Any, nbytes: int, now_ns: int) -> int:
+        # Charges transfer time (the state is streamed to the peer) but
+        # retains only the most recent image transiently, mirroring a
+        # migration pipe: once consumed, it is gone.
+        self._blobs.clear()
+        return super().store(key, obj, nbytes, now_ns)
+
+    def load(self, key: str, now_ns: int) -> Tuple[Any, int]:
+        obj, delay = super().load(key, now_ns)
+        self._blobs.pop(key, None)  # consumed by the peer
+        return obj, delay

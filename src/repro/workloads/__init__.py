@@ -1,0 +1,24 @@
+"""Synthetic applications that drive the simulated kernel."""
+
+from .base import Workload, memory_digest
+from .multithreaded import ThreadedWorkload, spawn_thread_group
+from .persistent import PidDependentApp, SharedMemoryApp, SocketApp
+from .scientific import RandomUpdater, StencilKernel, WavefrontSweep
+from .writers import DenseWriter, HotColdWriter, SparseWriter, StreamingWriter
+
+__all__ = [
+    "Workload",
+    "memory_digest",
+    "DenseWriter",
+    "SparseWriter",
+    "StreamingWriter",
+    "HotColdWriter",
+    "StencilKernel",
+    "WavefrontSweep",
+    "RandomUpdater",
+    "SocketApp",
+    "SharedMemoryApp",
+    "PidDependentApp",
+    "ThreadedWorkload",
+    "spawn_thread_group",
+]

@@ -1,0 +1,90 @@
+"""Failure injection at awkward moments: mid-capture, mid-wave, repeated."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import CheckpointCoordinator, Cluster, ParallelJob
+from repro.core.checkpointer import RequestState
+from repro.core.direction import AutonomicCheckpointer
+from repro.simkernel.costs import NS_PER_MS, NS_PER_S
+from repro.workloads import SparseWriter
+
+
+def wf(rank):
+    return SparseWriter(
+        iterations=4_000, dirty_fraction=0.03, heap_bytes=512 * 1024,
+        seed=rank, compute_ns=100_000,
+    )
+
+
+def protected_job(n_nodes=2, n_spares=2, interval_ms=25, seed=61):
+    cl = Cluster(n_nodes=n_nodes, n_spares=n_spares, seed=seed)
+    job = ParallelJob(cl, wf, n_ranks=n_nodes, name="fic")
+    mechs = {
+        n.node_id: AutonomicCheckpointer(n.kernel, cl.remote_storage)
+        for n in cl.nodes
+    }
+    coord = CheckpointCoordinator(job, mechs, interval_ms * NS_PER_MS)
+    coord.start()
+    return cl, job, coord, mechs
+
+
+def test_failure_mid_wave_aborts_wave_and_recovers():
+    cl, job, coord, mechs = protected_job()
+    # Fail a node just after a wave starts (waves every 25 ms; fail at
+    # 27 ms -- captures take ~5+ ms, so this lands mid-wave).
+    cl.engine.after(27 * NS_PER_MS, lambda: cl.fail_node(0))
+    done = job.run_to_completion(limit_ns=120 * NS_PER_S)
+    assert done
+    # Every *recorded* wave is complete; the aborted one never landed.
+    assert all(len(w) == 2 for w in coord.waves)
+    assert not coord.unrecoverable
+
+
+def test_two_failures_back_to_back():
+    cl, job, coord, mechs = protected_job(n_nodes=2, n_spares=3)
+    cl.engine.after(60 * NS_PER_MS, lambda: cl.fail_node(0))
+    cl.engine.after(62 * NS_PER_MS, lambda: cl.fail_node(1))
+    done = job.run_to_completion(limit_ns=240 * NS_PER_S)
+    assert done
+    assert job.restarts >= 1
+    assert not coord.unrecoverable
+
+
+def test_spare_node_failure_too():
+    """Failures can hit spares before they are claimed."""
+    cl, job, coord, mechs = protected_job(n_nodes=2, n_spares=2)
+    cl.engine.after(40 * NS_PER_MS, lambda: cl.fail_node(2))  # a spare dies
+    cl.engine.after(80 * NS_PER_MS, lambda: cl.fail_node(0))  # then a worker
+    done = job.run_to_completion(limit_ns=240 * NS_PER_S)
+    assert done
+    # The dead spare was skipped; recovery used the healthy one.
+    assert any(r.node.node_id == 3 for r in job.ranks)
+
+
+def test_out_of_spares_is_unrecoverable_not_crash():
+    cl, job, coord, mechs = protected_job(n_nodes=2, n_spares=0)
+    cl.engine.after(60 * NS_PER_MS, lambda: cl.fail_node(0))
+    done = job.run_to_completion(limit_ns=30 * NS_PER_S)
+    assert not done
+    assert coord.unrecoverable
+
+
+def test_requests_on_failed_node_fail_cleanly():
+    cl, job, coord, mechs = protected_job()
+    cl.run_for(10 * NS_PER_MS)
+    target = job.ranks[0]
+    mech = mechs[target.node.node_id]
+    req = mech.request_checkpoint(target.task)
+    # Kill the node before the capture can finish.
+    cl.fail_node(target.node.node_id)
+    cl.run_for(50 * NS_PER_MS)
+    # The request cannot complete successfully against a dead process;
+    # depending on timing it failed or is stuck pending -- never DONE
+    # with a torn image.
+    if req.state == RequestState.DONE:
+        # Completed just before the failure hit: image must verify.
+        assert req.image is not None
+    else:
+        assert req.state in (RequestState.FAILED, RequestState.RUNNING, RequestState.PENDING)

@@ -1,0 +1,106 @@
+"""Tests for checkpoint-based gang scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, GangScheduler, ParallelJob
+from repro.core.direction import AutonomicCheckpointer
+from repro.errors import ClusterError
+from repro.simkernel import TaskState
+from repro.simkernel.costs import NS_PER_MS, NS_PER_S
+from repro.workloads import SparseWriter
+
+
+def wf_factory(iterations):
+    def wf(rank):
+        return SparseWriter(
+            iterations=iterations, dirty_fraction=0.02, heap_bytes=256 * 1024,
+            seed=rank, compute_ns=100_000,
+        )
+
+    return wf
+
+
+def build(slot_ms=30, iters=3000):
+    cl = Cluster(n_nodes=2, seed=31)
+    mechs = {
+        n.node_id: AutonomicCheckpointer(n.kernel, cl.remote_storage)
+        for n in cl.nodes
+    }
+    sched = GangScheduler(cl, mechs, slot_ns=slot_ms * NS_PER_MS)
+    job_a = ParallelJob(cl, wf_factory(iters), n_ranks=2, name="gangA")
+    job_b = ParallelJob(cl, wf_factory(iters), n_ranks=2, name="gangB")
+    sched.add_gang(job_a)
+    sched.add_gang(job_b)
+    return cl, sched, job_a, job_b
+
+
+def test_start_requires_gangs():
+    cl = Cluster(n_nodes=1, seed=31)
+    sched = GangScheduler(cl, {}, slot_ns=NS_PER_MS)
+    with pytest.raises(ClusterError):
+        sched.start()
+
+
+def test_only_one_gang_runs_at_a_time():
+    cl, sched, a, b = build()
+    sched.start()
+    cl.run_for(10 * NS_PER_MS)
+    # Gang A active, gang B frozen.
+    assert sched.active_gang is a
+    assert all(r.task.state == TaskState.STOPPED for r in b.ranks)
+    a_runs = any(
+        r.task.state in (TaskState.RUNNING, TaskState.READY) for r in a.ranks
+    )
+    assert a_runs
+
+
+def test_rotation_alternates_and_both_progress():
+    cl, sched, a, b = build()
+    sched.start()
+    cl.run_for(200 * NS_PER_MS)
+    assert sched.rotations >= 2
+    assert all(r.task.main_steps > 0 for r in a.ranks)
+    assert all(r.task.main_steps > 0 for r in b.ranks)
+
+
+def test_parked_gang_has_durable_images():
+    cl, sched, a, b = build()
+    sched.start()
+    cl.run_for(150 * NS_PER_MS)
+    # At least one gang has park images on remote storage by now.
+    parked = [g for g in sched.gangs if g.park_images]
+    assert parked
+    for g in parked:
+        for key in g.park_images.values():
+            assert cl.remote_storage.exists(key)
+
+
+def test_both_gangs_complete_and_scheduler_stops():
+    cl, sched, a, b = build(slot_ms=25, iters=800)
+    sched.start()
+    cl.run_until(lambda: a.finished and b.finished, limit_ns=120 * NS_PER_S)
+    assert a.finished and b.finished
+    cl.run_for(100 * NS_PER_MS)
+    assert not sched._running  # rotation wound down
+
+
+def test_finished_gang_yields_machine():
+    cl, sched, a, b = build(slot_ms=25, iters=200)  # A & B short
+    sched.start()
+    cl.run_until(lambda: a.finished, limit_ns=60 * NS_PER_S)
+    cl.run_for(60 * NS_PER_MS)
+    # After A finishes, B should be the (only) active gang.
+    if not b.finished:
+        assert sched.active_gang is b
+
+
+def test_late_added_gang_starts_parked():
+    cl, sched, a, b = build()
+    sched.start()
+    cl.run_for(5 * NS_PER_MS)
+    c = ParallelJob(cl, wf_factory(2000), n_ranks=2, name="gangC")
+    sched.add_gang(c)
+    cl.run_for(5 * NS_PER_MS)
+    assert all(r.task.state == TaskState.STOPPED for r in c.ranks)

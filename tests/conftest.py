@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkernel import CostModel, Kernel, ops
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A fresh single-CPU kernel with default costs."""
+    return Kernel(ncpus=1, seed=42)
+
+
+@pytest.fixture
+def smp_kernel() -> Kernel:
+    """A 4-CPU kernel (kernel-thread concurrency experiments)."""
+    return Kernel(ncpus=4, seed=42)
+
+
+def simple_program(n_iters: int = 20, write_bytes: int = 256, stride: int = 4096):
+    """Factory-of-factories: a small compute+write loop program."""
+
+    def factory(task, start_step):
+        def gen():
+            i = start_step
+            while i < n_iters:
+                yield ops.Compute(ns=5_000)
+                yield ops.MemWrite(
+                    vma="heap",
+                    offset=(i * stride) % (task.mm.vma("heap").size_bytes - write_bytes),
+                    nbytes=write_bytes,
+                    seed=i,
+                )
+                i += 1
+            yield ops.Exit(code=0)
+
+        return gen()
+
+    return factory

@@ -1,0 +1,101 @@
+"""Tests for the checkpoint image format and chain materialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.image import (
+    CheckpointImage,
+    Chunk,
+    METADATA_BYTES,
+    materialize_chain,
+)
+from repro.errors import RestartError
+
+
+def make_image(key="a", parent=None, step=0):
+    return CheckpointImage(
+        key=key,
+        mechanism="test",
+        pid=1,
+        task_name="t",
+        node_id=0,
+        step=step,
+        registers={"pc": 0, "sp": 0, "gpr": [0] * 8},
+        parent_key=parent,
+    )
+
+
+def page(val, size=4096):
+    return np.full(size, val, dtype=np.uint8)
+
+
+class TestImage:
+    def test_payload_and_size_accounting(self):
+        img = make_image()
+        img.add_page("heap", 0, page(1))
+        img.add_page("heap", 1, page(2))
+        assert img.payload_bytes == 8192
+        assert img.size_bytes >= METADATA_BYTES + 8192
+
+    def test_block_chunks_are_sub_page(self):
+        img = make_image()
+        img.add_block("heap", 0, 512, page(3, 128))
+        assert img.chunks[0].nbytes == 128
+        assert img.chunks[0].offset == 512
+
+    def test_chunk_checksum_auto_computed(self):
+        c = Chunk(vma="heap", page_index=0, offset=0, data=page(7))
+        assert c.checksum != 0
+
+    def test_is_incremental(self):
+        assert not make_image().is_incremental
+        assert make_image(parent="x").is_incremental
+
+    def test_chunk_index_last_writer_wins(self):
+        img = make_image()
+        img.add_page("heap", 0, page(1))
+        img.add_page("heap", 0, page(2))
+        idx = img.chunk_index()
+        assert len(idx) == 1
+        assert idx[("heap", 0, 0)].data[0] == 2
+
+
+class TestChain:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(RestartError):
+            materialize_chain([])
+
+    def test_incremental_base_rejected(self):
+        with pytest.raises(RestartError):
+            materialize_chain([make_image(parent="x")])
+
+    def test_broken_parent_link_rejected(self):
+        base = make_image("a")
+        delta = make_image("c", parent="b")
+        with pytest.raises(RestartError):
+            materialize_chain([base, delta])
+
+    def test_deltas_overwrite_base_pages(self):
+        base = make_image("a", step=10)
+        base.add_page("heap", 0, page(1))
+        base.add_page("heap", 1, page(1))
+        d1 = make_image("b", parent="a", step=20)
+        d1.add_page("heap", 1, page(9))
+        flat = materialize_chain([base, d1])
+        idx = flat.chunk_index()
+        assert idx[("heap", 0, 0)].data[0] == 1
+        assert idx[("heap", 1, 0)].data[0] == 9
+        assert flat.step == 20
+        assert not flat.is_incremental
+
+    def test_three_level_chain(self):
+        base = make_image("a")
+        base.add_page("heap", 0, page(1))
+        d1 = make_image("b", parent="a")
+        d1.add_page("heap", 0, page(2))
+        d2 = make_image("c", parent="b")
+        d2.add_page("heap", 0, page(3))
+        flat = materialize_chain([base, d1, d2])
+        assert flat.chunk_index()[("heap", 0, 0)].data[0] == 3

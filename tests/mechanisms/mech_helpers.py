@@ -1,0 +1,46 @@
+"""Shared helpers for mechanism tests (imported, not a conftest)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpointer import RequestState
+from repro.simkernel import Kernel
+from repro.storage import LocalDiskStorage, MemoryStorage, NullStorage, RemoteStorage
+from repro.workloads import SparseWriter, memory_digest
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(ncpus=2, seed=11)
+
+
+def make_writer(iterations=300, dirty=0.05, heap=1 << 20, seed=7):
+    return SparseWriter(
+        iterations=iterations, dirty_fraction=dirty, heap_bytes=heap, seed=seed
+    )
+
+
+def run_request(kernel, req, timeout_ns=2_000_000_000):
+    """Advance the simulation until the request settles."""
+    kernel.start()
+    kernel.engine.run(
+        until_ns=kernel.engine.now_ns + timeout_ns,
+        until=lambda: req.state in (RequestState.DONE, RequestState.FAILED),
+    )
+    return req
+
+
+def reference_digest(workload_ctor, seed=11, ncpus=2):
+    """Heap digest of an uninterrupted run of the same workload."""
+    k = Kernel(ncpus=ncpus, seed=seed)
+    wl = workload_ctor()
+    t = wl.spawn(k)
+    k.run_until_exit(t, limit_ns=10**13)
+    return memory_digest(t)["heap"]
+
+
+def finish_and_digest(kernel, task):
+    """Run a (restored) task to completion and return its heap digest."""
+    kernel.run_until_exit(task, limit_ns=10**13)
+    return memory_digest(task)["heap"]

@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel.engine import Engine
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    order = []
+    eng.after(300, lambda: order.append("c"))
+    eng.after(100, lambda: order.append("a"))
+    eng.after(200, lambda: order.append("b"))
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now_ns == 300
+
+
+def test_same_time_events_fire_in_schedule_order():
+    eng = Engine()
+    order = []
+    for name in "abcde":
+        eng.after(50, lambda n=name: order.append(n))
+    eng.run()
+    assert order == list("abcde")
+
+
+def test_run_until_stops_clock_at_bound():
+    eng = Engine()
+    fired = []
+    eng.after(1_000, lambda: fired.append(1))
+    eng.after(5_000, lambda: fired.append(2))
+    eng.run(until_ns=2_000)
+    assert fired == [1]
+    assert eng.now_ns == 2_000
+    eng.run()
+    assert fired == [1, 2]
+    assert eng.now_ns == 5_000
+
+
+def test_cancelled_event_does_not_fire():
+    eng = Engine()
+    fired = []
+    ev = eng.after(100, lambda: fired.append(1))
+    ev.cancel()
+    eng.run()
+    assert fired == []
+
+
+def test_cannot_schedule_in_the_past():
+    eng = Engine()
+    eng.after(100, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.at(50, lambda: None)
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.after(-1, lambda: None)
+
+
+def test_events_scheduled_during_run_are_processed():
+    eng = Engine()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            eng.after(10, lambda: chain(n + 1))
+
+    eng.after(0, lambda: chain(0))
+    eng.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert eng.now_ns == 50
+
+
+def test_until_predicate_stops_run():
+    eng = Engine()
+    seen = []
+    for i in range(10):
+        eng.after(10 * (i + 1), lambda i=i: seen.append(i))
+    eng.run(until=lambda: len(seen) >= 3)
+    assert seen == [0, 1, 2]
+
+
+def test_max_events_guard():
+    eng = Engine()
+    for i in range(10):
+        eng.after(i + 1, lambda: None)
+    processed = eng.run(max_events=4)
+    assert processed == 4
+
+
+def test_deterministic_rng_streams():
+    a = Engine(seed=7)
+    b = Engine(seed=7)
+    assert a.rng.integers(0, 1000) == b.rng.integers(0, 1000)
+    ra, rb = a.spawn_rng(), b.spawn_rng()
+    assert ra.integers(0, 10**9) == rb.integers(0, 10**9)
+
+
+def test_counters():
+    eng = Engine()
+    eng.count("x")
+    eng.count("x", 4)
+    assert eng.counters["x"] == 5
+
+
+def test_trace_records_when_enabled():
+    eng = Engine(trace=True)
+    eng.after(10, lambda: eng.trace("test", "hello"))
+    eng.run()
+    assert len(eng.trace_log) == 1
+    assert eng.trace_log[0].time_ns == 10
+    assert eng.trace_log[0].message == "hello"
+
+
+def test_stop_requests_early_return():
+    eng = Engine()
+    seen = []
+    eng.after(10, lambda: (seen.append(1), eng.stop()))
+    eng.after(20, lambda: seen.append(2))
+    eng.run()
+    assert seen == [1]
+    eng.run()
+    assert seen == [1, 2]

@@ -1,0 +1,206 @@
+"""Kernel threads, address-space borrowing/TLB, and fork/COW semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.simkernel import Kernel, Mode, SchedPolicy, TaskState, ops
+from repro.simkernel.memory import page_checksum
+
+
+def writer(iters=100_000, stride=4096, nbytes=256):
+    def factory(task, step):
+        def gen():
+            i = step
+            heap_bytes = task.mm.vma("heap").size_bytes
+            while i < iters:
+                yield ops.Compute(ns=5_000)
+                yield ops.MemWrite(
+                    vma="heap", offset=(i * stride) % (heap_bytes - nbytes),
+                    nbytes=nbytes, seed=i,
+                )
+                i += 1
+            yield ops.Exit(code=0)
+
+        return gen()
+
+    return factory
+
+
+def test_kthread_runs_in_kernel_mode_at_fifo():
+    k = Kernel(seed=1)
+    modes = []
+
+    def kfactory(task, step):
+        def gen():
+            modes.append(task.mode)
+            yield ops.Compute(ns=1_000)
+            modes.append(task.mode)
+
+        return gen()
+
+    kt = k.spawn_kthread("kckpt", kfactory)
+    k.run_for(5_000_000)
+    assert not kt.alive()
+    assert kt.policy == SchedPolicy.FIFO
+    assert all(m == Mode.KERNEL for m in modes)
+
+
+def test_kthread_syscall_skips_boundary_cost():
+    k = Kernel(seed=1)
+    durations = {}
+
+    def kfactory(task, step):
+        def gen():
+            t0 = k.engine.now_ns
+            yield ops.Syscall(name="getpid")
+            durations["kthread"] = k.engine.now_ns - t0
+
+        return gen()
+
+    def ufactory(task, step):
+        def gen():
+            t0 = k.engine.now_ns
+            yield ops.Syscall(name="getpid")
+            durations["user"] = k.engine.now_ns - t0
+            yield ops.Exit(code=0)
+
+        return gen()
+
+    kt = k.spawn_kthread("kt", kfactory)
+    k.run_for(10_000_000)
+    ut = k.spawn_process("ut", ufactory)
+    k.run_for(10_000_000)
+    assert durations["kthread"] < durations["user"]
+
+
+def test_kthread_attach_mm_free_when_interrupting_target():
+    """If the CPU already holds the target's page tables the attach is free
+    -- 'if the kernel thread interrupts the application it wants to
+    checkpoint there is no need to switch the address space'."""
+    k = Kernel(ncpus=1, seed=1)
+    app = k.spawn_process("app", writer())
+    k.run_for(3_000_000)  # app is on CPU; its mm is loaded
+    costs = {}
+
+    def kfactory(task, step):
+        def gen():
+            costs["attach"] = k.kthread_attach_mm(task, app)
+            yield ops.Compute(ns=100)
+
+        return gen()
+
+    kt = k.spawn_kthread("kt", kfactory, rt_prio=60)
+    k.run_for(5_000_000)
+    assert costs["attach"] == 0
+
+
+def test_kthread_attach_mm_pays_switch_for_other_task():
+    k = Kernel(ncpus=1, seed=1)
+    a = k.spawn_process("a", writer())
+    b = k.spawn_process("b", writer())
+    k.run_for(3_000_000)
+    on_cpu = k.scheduler.cpus[0].current
+    target = a if on_cpu is not a else b
+    costs = {}
+
+    def kfactory(task, step):
+        def gen():
+            costs["attach"] = k.kthread_attach_mm(task, target)
+            yield ops.Compute(ns=100)
+
+        return gen()
+
+    kt = k.spawn_kthread("kt", kfactory, rt_prio=60)
+    k.run_for(5_000_000)
+    assert costs["attach"] > 0
+    # The displaced task reloads its TLB cold.
+    displaced = a if target is b else b
+    assert displaced.tlb_cold_pages > 0 or displaced.acct.tlb_refill_ns >= 0
+
+
+def test_attach_mm_requires_running_kthread():
+    k = Kernel(seed=1)
+    app = k.spawn_process("app", writer())
+    kt = k.spawn_kthread("kt", lambda t, s: iter(()), start=False)
+    with pytest.raises(SchedulerError):
+        k.kthread_attach_mm(kt, app)
+
+
+def test_fork_child_preserves_frozen_image():
+    k = Kernel(seed=1)
+    snapshots = {}
+
+    def factory(task, step):
+        def gen():
+            yield ops.MemWrite(vma="heap", offset=0, nbytes=4096, seed=1)
+            child_pid = yield ops.Syscall(name="fork")
+            snapshots["child_pid"] = child_pid
+            # Parent overwrites the page after the fork.
+            yield ops.MemWrite(vma="heap", offset=0, nbytes=4096, seed=2)
+            yield ops.Exit(code=0)
+
+        return gen()
+
+    t = k.spawn_process("app", factory)
+    k.run_until_exit(t)
+    child = k.tasks[snapshots["child_pid"]]
+    parent_page = t.mm.vma("heap").read_page(0)
+    child_page = child.mm.vma("heap").read_page(0)
+    # Child kept the pre-fork bytes; parent's new write COW-diverged.
+    assert page_checksum(parent_page) != page_checksum(child_page)
+    assert t.acct.cow_copies >= 1
+    assert child.state == TaskState.STOPPED
+
+
+def test_fork_duplicates_descriptor_table():
+    k = Kernel(seed=1)
+    k.vfs.create("/data/in.dat", b"x" * 100)
+    got = {}
+
+    def factory(task, step):
+        def gen():
+            fd = yield ops.Syscall(name="open", args=("/data/in.dat",))
+            yield ops.Syscall(name="lseek", args=(fd, 40, "set"))
+            child_pid = yield ops.Syscall(name="fork")
+            got["child"] = child_pid
+            got["fd"] = fd
+            yield ops.Exit(code=0)
+
+        return gen()
+
+    t = k.spawn_process("app", factory)
+    k.run_until_exit(t)
+    child = k.tasks[got["child"]]
+    assert child.fds[got["fd"]].offset == 40
+    assert child.fds[got["fd"]].file is t.fds[got["fd"]].file
+
+
+def test_irq_noise_charges_running_tasks():
+    k = Kernel(seed=5)
+    t = k.spawn_process("app", writer(iters=2_000))
+    k.enable_irq_noise(rate_hz=10_000)
+    k.run_for(50_000_000)
+    assert t.acct.interrupts_absorbed > 10
+
+
+def test_irq_disable_defers_interrupts():
+    k = Kernel(seed=5)
+    stats = {}
+
+    def kfactory(task, step):
+        def gen():
+            k.disable_irqs_for(task)
+            for _ in range(200):
+                yield ops.Compute(ns=100_000)
+            stats["absorbed_during"] = task.acct.interrupts_absorbed
+            stats["deferred"] = k.enable_irqs_for(task)
+
+        return gen()
+
+    kt = k.spawn_kthread("kt", kfactory)
+    k.enable_irq_noise(rate_hz=20_000)
+    k.run_for(40_000_000)
+    assert stats["absorbed_during"] == 0
+    assert stats["deferred"] > 0

@@ -1,0 +1,163 @@
+"""Unit tests for the virtual-memory model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.simkernel.costs import CostModel
+from repro.simkernel.memory import (
+    AddressSpace,
+    PageFlag,
+    Prot,
+    VMAKind,
+    page_checksum,
+)
+
+COSTS = CostModel()
+
+
+@pytest.fixture
+def mm() -> AddressSpace:
+    m = AddressSpace(COSTS)
+    m.map("heap", 64 * 1024, prot=Prot.RW, kind=VMAKind.HEAP)
+    m.map("code", 16 * 1024, prot=Prot.RX, kind=VMAKind.CODE)
+    return m
+
+
+def test_map_allocates_disjoint_page_aligned_ranges(mm):
+    heap, code = mm.vma("heap"), mm.vma("code")
+    assert heap.start % COSTS.page_size == 0
+    assert code.start >= heap.end
+    assert heap.npages == 16
+
+
+def test_find_vma_and_unmapped_address(mm):
+    heap = mm.vma("heap")
+    assert mm.find_vma(heap.start + 100) is heap
+    with pytest.raises(MemoryError_):
+        mm.find_vma(0x10)
+
+
+def test_duplicate_name_rejected(mm):
+    with pytest.raises(MemoryError_):
+        mm.map("heap", 4096)
+
+
+def test_write_access_allocates_and_dirties(mm):
+    heap = mm.vma("heap")
+    out = mm.write_access(heap, 3, 100, 64)
+    assert out.allocated
+    assert heap.test(3, PageFlag.PRESENT)
+    assert heap.test(3, PageFlag.DIRTY)
+    assert list(heap.dirty_pages()) == [3]
+
+
+def test_write_to_readonly_vma_rejected(mm):
+    code = mm.vma("code")
+    with pytest.raises(MemoryError_):
+        mm.write_access(code, 0, 0, 8)
+
+
+def test_write_crossing_page_boundary_rejected(mm):
+    heap = mm.vma("heap")
+    with pytest.raises(MemoryError_):
+        mm.write_access(heap, 0, COSTS.page_size - 10, 64)
+
+
+def test_fill_pattern_is_deterministic(mm):
+    heap = mm.vma("heap")
+    mm.write_access(heap, 0, 0, 128)
+    mm.fill_pattern(heap, 0, 0, 128, seed=9)
+    snap1 = heap.read_page(0)
+
+    mm2 = AddressSpace(COSTS)
+    mm2.map("heap", 64 * 1024, prot=Prot.RW, kind=VMAKind.HEAP)
+    h2 = mm2.vma("heap")
+    mm2.write_access(h2, 0, 0, 128)
+    mm2.fill_pattern(h2, 0, 0, 128, seed=9)
+    assert page_checksum(snap1) == page_checksum(h2.read_page(0))
+
+
+def test_tracking_arm_clean_and_fault_flow(mm):
+    heap = mm.vma("heap")
+    for p in range(4):
+        mm.write_access(heap, p, 0, 8)
+    armed = mm.protect_for_tracking(["heap"])
+    assert armed == 4
+    assert mm.dirty_page_count(["heap"]) == 0
+    out = mm.write_access(heap, 2, 0, 8)
+    assert out.tracking_fault
+    assert mm.dirty_page_count(["heap"]) == 1
+    assert list(heap.dirty_pages()) == [2]
+
+
+def test_lines_touched_reporting(mm):
+    heap = mm.vma("heap")
+    out = mm.write_access(heap, 0, 0, 64)
+    assert out.lines_touched == 1
+    out = mm.write_access(heap, 0, 32, 64)  # straddles two lines
+    assert out.lines_touched == 2
+    out = mm.write_access(heap, 0, 0, 1)
+    assert out.lines_touched == 1
+
+
+def test_resize_grow_and_shrink(mm):
+    heap = mm.vma("heap")
+    orig_pages = heap.npages
+    mm.resize("heap", 128 * 1024)
+    assert mm.vma("heap").npages == 32
+    mm.write_access(heap, 2, 0, 8)
+    mm.resize("heap", 3 * COSTS.page_size)
+    assert mm.vma("heap").npages == 3
+    with pytest.raises(MemoryError_):
+        mm.resize("heap", COSTS.page_size)  # page 2 is populated
+
+
+def test_fork_shares_then_cow_copies(mm):
+    heap = mm.vma("heap")
+    mm.write_access(heap, 1, 0, 16)
+    mm.fill_pattern(heap, 1, 0, 16, seed=5)
+    before = page_checksum(heap.read_page(1))
+
+    child = mm.fork()
+    ch = child.vma("heap")
+    assert ch.pages[1] is heap.pages[1]  # shared until write
+    assert heap.test(1, PageFlag.COW) and ch.test(1, PageFlag.COW)
+
+    out = child.write_access(ch, 1, 0, 16)
+    assert out.cow_copied
+    child.fill_pattern(ch, 1, 0, 16, seed=99)
+    assert ch.pages[1] is not heap.pages[1]
+    # Parent's view unchanged: the frozen image is consistent.
+    assert page_checksum(heap.read_page(1)) == before
+
+
+def test_fork_shared_vma_stays_shared():
+    mm = AddressSpace(COSTS)
+    mm.map("shm:1", 8192, prot=Prot.RW, kind=VMAKind.SHM, shared=True, shm_key=1)
+    seg = mm.vma("shm:1")
+    mm.write_access(seg, 0, 0, 8)
+    child = mm.fork()
+    cseg = child.vma("shm:1")
+    out = child.write_access(cseg, 0, 8, 8)
+    assert not out.cow_copied
+    assert cseg.pages is seg.pages
+
+
+def test_install_and_read_page_roundtrip(mm):
+    heap = mm.vma("heap")
+    data = np.arange(COSTS.page_size, dtype=np.uint8)
+    heap.install_page(5, data)
+    assert heap.test(5, PageFlag.PRESENT)
+    np.testing.assert_array_equal(heap.read_page(5), data)
+
+
+def test_total_present_pages_and_iter(mm):
+    heap = mm.vma("heap")
+    for p in (0, 3, 7):
+        mm.write_access(heap, p, 0, 4)
+    assert mm.total_present_pages() == 3
+    pages = [(v.name, p) for v, p in mm.iter_present()]
+    assert ("heap", 3) in pages
