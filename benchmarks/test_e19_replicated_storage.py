@@ -1,0 +1,201 @@
+"""E19 -- replicated stable storage: survivability, quorums, repair.
+
+The paper prescribes *remote* stable storage so checkpoints survive the
+compute node (Section 4.1) -- but a single remote file server merely
+moves the single point of failure off-node.  E19 stresses the storage
+tier itself: a replicated W-of-N stable-storage service under injected
+storage-server failures, with and without background re-replication,
+across replication factors.
+
+Three claims are demonstrated:
+
+* rf=1 (the paper-era single file server) loses checkpoint data on the
+  first storage-server failure: the job either falls back to an older
+  surviving generation or is unrecoverable.
+* rf>=2 with background re-replication rides through storage-server
+  failures *and* a compute-node failure: quorum writes retry past dead
+  servers with exponential backoff and restarts proceed with zero lost
+  keys.
+* The observed storage commit latency feeds the autonomic interval
+  controller: under link contention (many writers into the shared
+  service) the recommended checkpoint interval visibly widens.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import CheckpointCoordinator, Cluster, ParallelJob
+from repro.core.autonomic import AutonomicIntervalController, FailureRateEstimator
+from repro.core.direction import AutonomicCheckpointer
+from repro.reporting import render_replication_table, render_table
+from repro.simkernel.costs import NS_PER_MS, NS_PER_S
+from repro.workloads import SparseWriter
+
+from conftest import report
+
+INTERVAL_NS = 25 * NS_PER_MS
+
+
+def wf(rank):
+    return SparseWriter(
+        iterations=4000, dirty_fraction=0.03, heap_bytes=512 * 1024,
+        seed=rank, compute_ns=100_000,
+    )
+
+
+def run_cell(rf, storage_failures, repair=True):
+    """One grid cell: a 2-rank coordinated job over the replicated
+    service, ``storage_failures`` injected storage-server failures (each
+    targeting a server that actually holds the latest wave's data, so
+    the hit is never vacuous), then a compute-node failure."""
+    cl = Cluster(
+        n_nodes=2, n_spares=2, seed=19,
+        storage_servers=3, replication=rf, storage_repair=repair,
+    )
+    job = ParallelJob(cl, wf, n_ranks=2, name=f"rf{rf}")
+    mechs = {
+        n.node_id: AutonomicCheckpointer(n.kernel, n.remote_storage)
+        for n in cl.nodes
+    }
+    coord = CheckpointCoordinator(job, mechs, INTERVAL_NS)
+    coord.start()
+    store = cl.remote_storage
+
+    def fail_holder():
+        if not coord.waves:
+            cl.engine.after(10 * NS_PER_MS, fail_holder)
+            return
+        key = next(iter(coord.waves[-1].values()))[0]
+        holders = store.holders(key)
+        if holders:
+            cl.fail_storage_server(holders[0])
+
+    if storage_failures >= 1:
+        cl.engine.after(60 * NS_PER_MS, fail_holder)
+    if storage_failures >= 2:
+        cl.engine.after(140 * NS_PER_MS, fail_holder)
+    cl.engine.after(220 * NS_PER_MS, lambda: cl.fail_node(0))
+    done = job.run_to_completion(limit_ns=120 * NS_PER_S)
+    return {
+        "store": store,
+        "repairer": cl.storage_repairer,
+        "completed": done,
+        "waves": len(coord.waves),
+        "recoveries": coord.recoveries,
+        "unrecoverable": coord.unrecoverable,
+        "fallbacks": coord.generation_fallbacks,
+        "lost": len(store.lost_keys()),
+        "write_retries": store.write_retries,
+        "backoff_ns": store.backoff_ns_total,
+        "quorum_write_failures": store.quorum_write_failures,
+        "repairs": cl.storage_repairer.repairs_completed
+        if cl.storage_repairer is not None
+        else 0,
+    }
+
+
+def contention_interval(n_writers):
+    """Recommended Daly interval after ``n_writers`` simultaneous 4 MiB
+    checkpoint commits through the shared service link."""
+    cl = Cluster(n_nodes=1, seed=7, storage_servers=3, replication=2)
+    store = cl.remote_storage
+    ctrl = AutonomicIntervalController(FailureRateEstimator(prior_mtbf_s=3600.0))
+    for i in range(n_writers):
+        delay = store.store(f"bench/{i}/1", b"", 4 * 1024 * 1024, 0)
+        ctrl.observe_storage_latency(delay)
+    return ctrl.recommended_interval_s()
+
+
+GRID = [
+    ("rf=1, no storage failure", 1, 0, True),
+    ("rf=1, 1 storage failure", 1, 1, True),
+    ("rf=2, no storage failure", 2, 0, True),
+    ("rf=2, 1 storage failure", 2, 1, True),
+    ("rf=2, 2 failures, no repair", 2, 2, False),
+    ("rf=2, 2 failures, repair", 2, 2, True),
+    ("rf=3, 1 storage failure", 3, 1, True),
+]
+
+
+def measure():
+    cells = {label: run_cell(rf, nf, rep) for label, rf, nf, rep in GRID}
+    intervals = {n: contention_interval(n) for n in (1, 4, 16)}
+    return {"cells": cells, "intervals": intervals}
+
+
+def test_e19_replicated_storage(run_once):
+    out = run_once(measure)
+    cells = out["cells"]
+
+    rows = [
+        (
+            label,
+            c["waves"],
+            c["lost"],
+            c["write_retries"],
+            c["repairs"],
+            "yes" if c["unrecoverable"] else "no",
+            "yes" if c["completed"] else "no",
+        )
+        for label, c in (
+            (label, cells[label]) for label, *_ in GRID
+        )
+    ]
+    text = render_table(
+        [
+            "scenario", "waves", "keys lost", "write retries",
+            "repairs", "job lost", "completed",
+        ],
+        rows,
+        title="E19. Replicated stable storage under storage-server failures.",
+    )
+    text += "\n\n" + render_replication_table(
+        cells["rf=2, 2 failures, repair"]["store"],
+        cells["rf=2, 2 failures, repair"]["repairer"],
+        title="Service state after the rf=2 / 2-failure / repair run",
+    )
+    text += "\n\n" + render_table(
+        ["concurrent writers", "recommended interval (s)"],
+        [(n, f"{iv:.1f}") for n, iv in sorted(out["intervals"].items())],
+        title="Autonomic interval vs. storage-link contention (4 MiB commits)",
+    )
+    report("e19_replicated_storage", text)
+
+    # Failure-free baselines complete, nothing lost, no fallbacks.
+    for label in ("rf=1, no storage failure", "rf=2, no storage failure"):
+        assert cells[label]["completed"]
+        assert cells[label]["lost"] == 0
+        assert cells[label]["fallbacks"] == 0
+
+    # rf=1: the first storage-server failure loses checkpoint data; the
+    # job falls back to an older generation or (as here, where delta
+    # chains die with their base) cannot be recovered at all.
+    c = cells["rf=1, 1 storage failure"]
+    assert c["lost"] >= 1
+    assert c["fallbacks"] >= 1 or c["unrecoverable"]
+    assert not c["completed"]
+
+    # rf=2 + repair rides through a storage failure: quorum writes walk
+    # past the dead server (retries with real backoff), re-replication
+    # restores the factor, and the node-failure restart succeeds from
+    # the *latest* generation.
+    c = cells["rf=2, 1 storage failure"]
+    assert c["completed"] and not c["unrecoverable"]
+    assert c["lost"] == 0 and c["fallbacks"] == 0
+    assert c["write_retries"] > 0 and c["backoff_ns"] > 0
+    assert c["repairs"] >= 1
+
+    # Repair is what buys the second failure: without it rf=2 loses
+    # keys and the job with it; with it the job still completes.
+    assert not cells["rf=2, 2 failures, no repair"]["completed"]
+    assert cells["rf=2, 2 failures, no repair"]["lost"] >= 1
+    assert cells["rf=2, 2 failures, repair"]["completed"]
+    assert cells["rf=2, 2 failures, repair"]["lost"] == 0
+    assert cells["rf=2, 2 failures, repair"]["repairs"] >= 1
+
+    # Wider replication absorbs the same failure with margin.
+    assert cells["rf=3, 1 storage failure"]["completed"]
+
+    # Autonomic feedback: the recommended interval widens monotonically
+    # as storage commits queue on the shared link.
+    iv = out["intervals"]
+    assert iv[1] < iv[4] < iv[16]

@@ -12,6 +12,8 @@ Layering (import order mirrors dependency order):
 * :mod:`repro.simkernel` -- the simulated OS (engine, memory, scheduler,
   signals, syscalls, kernel threads, VFS, modules).
 * :mod:`repro.storage` -- stable-storage backends and device models.
+* :mod:`repro.stablestore` -- the replicated remote stable-storage
+  service (storage-server nodes, quorum client, repair, generation GC).
 * :mod:`repro.workloads` -- synthetic applications that drive the kernel.
 * :mod:`repro.core` -- checkpoint images, the Checkpointer API, taxonomy,
   feature matrix, the paper's advocated "direction forward" design, and

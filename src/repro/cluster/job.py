@@ -190,6 +190,10 @@ class CheckpointCoordinator:
         self.recoveries = 0
         self.unrecoverable = False
         self.lost_steps = 0
+        #: Recoveries that had to reach past the newest wave because its
+        #: images (or their delta ancestry) were unreadable -- storage-
+        #: tier failures surfacing as lost checkpoint generations (E19).
+        self.generation_fallbacks = 0
         self._stopped = False
         job.cluster.on_failure(self._on_failure)
 
@@ -300,7 +304,15 @@ class CheckpointCoordinator:
             job.restarts += 1
             self._restart_from_scratch()
             return
-        wave = self.waves[-1]
+        wave = self._usable_wave()
+        if wave is None:
+            # Waves were taken but no generation's images are readable
+            # (local disks died with their node, or the storage tier
+            # lost every replica): the E13/E19 failure mode.
+            self.unrecoverable = True
+            return
+        if wave is not self.waves[-1]:
+            self.generation_fallbacks += 1
         # Rework: progress past the recovered wave is lost per rank.
         self.lost_steps += sum(
             max(0, r.task.main_steps - wave[r.index][1])
@@ -337,6 +349,29 @@ class CheckpointCoordinator:
             # Checkpoints gone (local disk on the dead node) or no spare:
             # the job cannot be recovered -- the paper's E13 failure mode.
             self.unrecoverable = True
+
+    def _usable_wave(self) -> Optional[Dict[int, str]]:
+        """Newest wave whose every image chain is currently readable.
+
+        Under an infallible storage tier this is always the latest wave
+        (identical to the historical behaviour); when storage servers
+        fail, restart falls back to the newest *surviving* generation
+        instead of dying on the first unreadable image.
+        """
+        for wave in reversed(self.waves):
+            usable = True
+            for rank in self.job.ranks:
+                if rank.index not in wave:
+                    continue
+                mech = self.mechanisms.get(rank.node.node_id) or next(
+                    iter(self.mechanisms.values())
+                )
+                if not mech.chain_available(wave[rank.index][0]):
+                    usable = False
+                    break
+            if usable:
+                return wave
+        return None
 
     def _restart_from_scratch(self) -> None:
         job = self.job

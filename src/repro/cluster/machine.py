@@ -17,7 +17,9 @@ from ..errors import ClusterError, NodeFailedError
 from ..simkernel import Kernel, TaskState
 from ..simkernel.costs import CostModel, DEFAULT_COSTS, NS_PER_S
 from ..simkernel.engine import Engine
+from ..stablestore import ReplicatedStore, ReplicationRepairer, StorageCluster
 from ..storage import LocalDiskStorage, RemoteStorage
+from ..storage.backends import StorageBackend
 from .failures import FailureModel
 
 __all__ = ["NodeState", "ClusterNode", "Cluster"]
@@ -32,7 +34,13 @@ class NodeState(str, Enum):
 
 
 class ClusterNode:
-    """One machine: a kernel plus its local disk."""
+    """One machine: a kernel plus its local disk.
+
+    The node's *remote* storage handle is injected by the cluster --
+    remote stable storage is a shared service, not per-machine hardware,
+    which is precisely what lets the replicated
+    :mod:`repro.stablestore` service swap in behind every node at once.
+    """
 
     def __init__(
         self,
@@ -40,6 +48,7 @@ class ClusterNode:
         engine: Engine,
         ncpus: int = 2,
         costs: CostModel = DEFAULT_COSTS,
+        remote_storage: Optional[StorageBackend] = None,
     ) -> None:
         self.node_id = node_id
         self.engine = engine
@@ -48,6 +57,7 @@ class ClusterNode:
         self.state = NodeState.UP
         self.kernel = Kernel(ncpus=ncpus, costs=costs, engine=engine, node_id=node_id)
         self.local_storage = LocalDiskStorage(node_id=node_id)
+        self.remote_storage = remote_storage
         self.failed_at_ns: Optional[int] = None
         self.failures = 0
 
@@ -99,6 +109,16 @@ class Cluster:
         Compute nodes (allocatable to jobs).
     n_spares:
         Extra nodes kept idle for restart-after-failure placement.
+    storage_servers:
+        When > 0, the monolithic-infallible ``RemoteStorage`` default is
+        replaced by the :mod:`repro.stablestore` service: that many
+        fail-stop storage-server nodes on this cluster's clock behind a
+        quorum-replicated client (experiment E19).
+    replication / write_quorum / read_quorum:
+        Replica placement and quorum sizes for the service (ignored
+        without ``storage_servers``).
+    storage_repair:
+        Run the background re-replication repairer (service mode only).
     """
 
     def __init__(
@@ -108,17 +128,43 @@ class Cluster:
         ncpus_per_node: int = 2,
         seed: int = 0,
         costs: CostModel = DEFAULT_COSTS,
+        storage_servers: int = 0,
+        replication: int = 2,
+        write_quorum: Optional[int] = None,
+        read_quorum: int = 1,
+        storage_repair: bool = True,
     ) -> None:
         if n_nodes < 1:
             raise ClusterError("cluster needs at least one node")
         self.engine = Engine(seed=seed)
         self.costs = costs
+        self.storage_cluster: Optional[StorageCluster] = None
+        self.storage_repairer: Optional[ReplicationRepairer] = None
+        if storage_servers > 0:
+            self.storage_cluster = StorageCluster(self.engine, n_servers=storage_servers)
+            self.remote_storage: StorageBackend = ReplicatedStore(
+                self.storage_cluster,
+                replication=replication,
+                write_quorum=write_quorum,
+                read_quorum=read_quorum,
+            )
+            if storage_repair:
+                self.storage_repairer = ReplicationRepairer(
+                    self.remote_storage, self.engine
+                )
+        else:
+            self.remote_storage = RemoteStorage()
         self.nodes: List[ClusterNode] = [
-            ClusterNode(i, self.engine, ncpus=ncpus_per_node, costs=costs)
+            ClusterNode(
+                i,
+                self.engine,
+                ncpus=ncpus_per_node,
+                costs=costs,
+                remote_storage=self.remote_storage,
+            )
             for i in range(n_nodes + n_spares)
         ]
         self.n_compute = n_nodes
-        self.remote_storage = RemoteStorage()
         self._spares: List[int] = list(range(n_nodes, n_nodes + n_spares))
         self._failure_watchers: List[Callable[[ClusterNode], None]] = []
 
@@ -161,6 +207,18 @@ class Cluster:
         self.engine.count("node_failures")
         for fn in list(self._failure_watchers):
             fn(node)
+
+    def fail_storage_server(self, server_id: int) -> None:
+        """Inject a fail-stop on one storage-server node, now."""
+        if self.storage_cluster is None:
+            raise ClusterError("cluster was built without storage servers")
+        self.storage_cluster.fail_server(server_id)
+
+    def repair_storage_server(self, server_id: int, data_survived: bool = True) -> None:
+        """Bring a failed storage server back."""
+        if self.storage_cluster is None:
+            raise ClusterError("cluster was built without storage servers")
+        self.storage_cluster.repair_server(server_id, data_survived=data_survived)
 
     def schedule_failures(
         self,

@@ -83,12 +83,17 @@ class AutonomicIntervalController:
         min_interval_s: float = 1e-3,
         max_interval_s: float = 86_400.0,
         cost_alpha: float = 0.3,
+        storage_alpha: float = 0.3,
+        storage_weight: float = 1.0,
     ) -> None:
         self.estimator = estimator
         self.min_interval_s = min_interval_s
         self.max_interval_s = max_interval_s
         self.cost_alpha = cost_alpha
+        self.storage_alpha = storage_alpha
+        self.storage_weight = storage_weight
         self._cost_s: Optional[float] = None
+        self._storage_s: Optional[float] = None
         self.retunes = 0
 
     def observe_checkpoint(self, req: CheckpointRequest) -> None:
@@ -96,7 +101,11 @@ class AutonomicIntervalController:
 
         The relevant cost for interval choice is the *application
         stall*, not the total capture time (a concurrent kernel thread
-        writing to storage does not slow the job down).
+        writing to storage does not slow the job down).  The stable-
+        storage commit latency is tracked separately: an image is no
+        protection until it is durable, so the storage tier's observed
+        latency bounds the useful checkpoint cadence and is folded into
+        the Daly cost below.
         """
         if req.state != RequestState.DONE:
             return
@@ -107,15 +116,46 @@ class AutonomicIntervalController:
             self._cost_s = (
                 self.cost_alpha * cost_s + (1.0 - self.cost_alpha) * self._cost_s
             )
+        if req.storage_delay_ns > 0:
+            self.observe_storage_latency(req.storage_delay_ns)
+
+    def observe_storage_latency(self, latency_ns: int) -> None:
+        """Feed one observed stable-storage write latency (EWMA).
+
+        Under contention -- many compute nodes checkpointing through the
+        shared storage service at once -- this rises, and the
+        recommended interval widens with it (E19).
+        """
+        latency_s = max(0.0, latency_ns / NS_PER_S)
+        if self._storage_s is None:
+            self._storage_s = latency_s
+        else:
+            self._storage_s = (
+                self.storage_alpha * latency_s
+                + (1.0 - self.storage_alpha) * self._storage_s
+            )
 
     @property
     def checkpoint_cost_s(self) -> Optional[float]:
         """Current checkpoint-cost estimate (None before any sample)."""
         return self._cost_s
 
+    @property
+    def storage_latency_s(self) -> Optional[float]:
+        """Current stable-storage commit-latency estimate."""
+        return self._storage_s
+
     def recommended_interval_s(self) -> float:
-        """Daly interval from current estimates, clamped."""
+        """Daly interval from current estimates, clamped.
+
+        The effective per-checkpoint cost is the application stall plus
+        the (weighted) storage commit latency: the paper's Daly ``δ`` is
+        the end-to-end price of one durable checkpoint, and with a
+        remote replicated store the commit is usually the bigger term.
+        """
         cost = self._cost_s if self._cost_s is not None else self.min_interval_s
+        if self._storage_s is not None:
+            cost = cost + self.storage_weight * self._storage_s
         tau = daly_interval_s(cost, self.estimator.mtbf_s)
         return min(self.max_interval_s, max(self.min_interval_s, tau))
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional
 
-from ..errors import CheckpointError, RestartError
+from ..errors import CheckpointError, RestartError, StorageError
 from ..simkernel import Kernel, Task
 from ..storage.backends import StorageBackend
 from .capture import RestoreResult, load_image, restore_image
@@ -57,6 +57,9 @@ class CheckpointRequest:
     error: Optional[str] = None
     #: Virtual time the target spent frozen for this checkpoint.
     target_stall_ns: int = 0
+    #: Client-visible stable-storage write latency for the image (the
+    #: autonomic controller folds this into its interval retuning).
+    storage_delay_ns: int = 0
     incremental: bool = False
 
     @property
@@ -209,6 +212,25 @@ class Checkpointer:
     restores_pid: bool = False
     virtualizes_resources: bool = False
     rescues_deleted_files: bool = False
+
+    def chain_available(self, key: str) -> bool:
+        """Whether ``key`` and its whole base+delta ancestry are readable.
+
+        A pure availability probe (no I/O is charged): restart policies
+        use it to pick the newest checkpoint *generation* whose chain
+        survives the current storage failures before committing to a
+        restore.
+        """
+        k: Optional[str] = key
+        while k is not None:
+            if not self.storage.exists(k):
+                return False
+            try:
+                image = self.storage.peek(k)
+            except StorageError:
+                return False
+            k = getattr(image, "parent_key", None)
+        return True
 
     def image_chain(self, key: str, target_kernel: Optional[Kernel] = None):
         """Fetch the full-image + delta chain ending at ``key``."""

@@ -95,10 +95,36 @@ class AutonomicCheckpointer(SystemLevelCheckpointer):
     def install(self) -> None:
         self._module = _AutoCkptModule(self).load(self.kernel)
         self._timers: Dict[int, object] = {}
+        self._controller = None
+        #: Automatic in-kernel retunes driven by the attached controller.
+        self.retuned = 0
 
     def uninstall(self) -> None:
         self._module.unload()
         self.installed = False
+
+    def attach_controller(self, controller) -> None:
+        """Close the autonomic loop *inside the kernel module*.
+
+        Every completed checkpoint feeds the controller (which folds
+        both the measured application stall and the observed stable-
+        storage commit latency into its Daly model), and the automatic
+        timer is retuned to the fresh recommendation -- so when the
+        storage tier slows down under contention, the interval visibly
+        widens without any user-space management (E19).
+        """
+        self._controller = controller
+
+    def _complete(self, req, image) -> None:
+        super()._complete(req, image)
+        if self._controller is None:
+            return
+        self._controller.observe_checkpoint(req)
+        interval_ns = self._controller.recommended_interval_ns()
+        timer = self._timers.get(req.target_pid)
+        if timer is not None and timer["interval_ns"] != interval_ns:
+            timer["interval_ns"] = interval_ns
+            self.retuned += 1
 
     def _proc_status(self) -> bytes:
         lines = [

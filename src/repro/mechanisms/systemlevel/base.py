@@ -30,7 +30,7 @@ from ...core.capture import (
     store_image,
 )
 from ...core.checkpointer import Checkpointer, CheckpointRequest, RequestState
-from ...errors import CheckpointError
+from ...errors import CheckpointError, StorageError
 from ...simkernel import Kernel, Mode, SchedPolicy, Task, TaskState, ops
 from .. import incremental as incr
 
@@ -85,8 +85,18 @@ class SystemLevelCheckpointer(Checkpointer):
             pages = self._page_set(task, req.incremental)
             for op in copy_pages(kernel, task, image, pages):
                 yield op
-            for op in store_image(kernel, self.storage, image):
-                yield op
+            store_start_ns = kernel.engine.now_ns
+            try:
+                for op in store_image(kernel, self.storage, image):
+                    yield op
+            except StorageError as exc:
+                # Stable storage refused the image (lost backend, write
+                # quorum unreachable): this checkpoint fails, the
+                # application continues.
+                req.target_stall_ns = kernel.engine.now_ns - req.started_ns
+                self._fail(req, f"stable-storage write failed: {exc}")
+                return
+            req.storage_delay_ns = kernel.engine.now_ns - store_start_ns
             if rearm and self.features.incremental:
                 self.arm_incremental(task)
                 yield ops.Compute(ns=30 * len(pages) + 1_000)
@@ -162,13 +172,25 @@ class SystemLevelCheckpointer(Checkpointer):
                     req.target_stall_ns = kernel.engine.now_ns - req.started_ns
                 # Storage write happens after the app resumes (copy-out
                 # already isolated the data in the image buffers).
-                for op in store_image(kernel, self.storage, image):
-                    yield op
+                store_start_ns = kernel.engine.now_ns
+                store_error: Optional[str] = None
+                try:
+                    for op in store_image(kernel, self.storage, image):
+                        yield op
+                except StorageError as exc:
+                    # Lost backend / write quorum unreachable: the
+                    # checkpoint fails but the target keeps running.
+                    store_error = str(exc)
+                else:
+                    req.storage_delay_ns = kernel.engine.now_ns - store_start_ns
                 if defer_irqs:
                     kernel.enable_irqs_for(kt)
                 if destroy_capture_source and capture_mm_of is not None:
                     kernel._exit_task(capture_mm_of, code=0)
                     kernel.reap(capture_mm_of)
+                if store_error is not None:
+                    self._fail(req, f"stable-storage write failed: {store_error}")
+                    return
                 self._complete(req, image)
 
             return gen()

@@ -21,7 +21,7 @@ from ...core.capture import (
     user_extract_metadata,
 )
 from ...core.checkpointer import Checkpointer, CheckpointRequest, RequestState
-from ...errors import CheckpointError
+from ...errors import CheckpointError, StorageError
 from ...simkernel import Kernel, Mode, Task, ops
 from ...simkernel.signals import HandlerKind, Sig, SignalHandler
 from .. import incremental as incr
@@ -111,8 +111,17 @@ class UserLevelCheckpointer(Checkpointer):
                 )
             for op in copy_pages(self.kernel, task, image, pages, user_mode=True):
                 yield op
-            for op in store_image(self.kernel, self.storage, image):
-                yield op
+            store_start_ns = self.kernel.engine.now_ns
+            try:
+                for op in store_image(self.kernel, self.storage, image):
+                    yield op
+            except StorageError as exc:
+                # Lost backend / write quorum unreachable: the
+                # checkpoint fails, the application continues.
+                req.target_stall_ns = self.kernel.engine.now_ns - req.started_ns
+                self._fail(req, f"stable-storage write failed: {exc}")
+                return
+            req.storage_delay_ns = self.kernel.engine.now_ns - store_start_ns
             if self.features.incremental:
                 # Re-arm: a full mprotect sweep, one syscall per VMA.
                 yield from self._forward(incr.user_arm_ops(task))

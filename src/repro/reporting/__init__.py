@@ -1,5 +1,13 @@
 """Rendering helpers for tables, bars and series."""
 
+from .survivability import render_replication_table
 from .tables import fmt_bytes, fmt_ns, render_bars, render_series, render_table
 
-__all__ = ["render_table", "render_bars", "render_series", "fmt_bytes", "fmt_ns"]
+__all__ = [
+    "render_table",
+    "render_bars",
+    "render_series",
+    "render_replication_table",
+    "fmt_bytes",
+    "fmt_ns",
+]

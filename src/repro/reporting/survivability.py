@@ -1,0 +1,70 @@
+"""Survivability / replication reporting for the stable-storage service.
+
+Renders the per-server replica census plus the quorum-behaviour
+counters (retries, backoff, quorum failures, repairs) the E19
+experiment reports -- the storage-tier analogue of the job-level
+recovery tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .tables import fmt_bytes, fmt_ns, render_table
+
+__all__ = ["render_replication_table"]
+
+
+def render_replication_table(
+    store,
+    repairer=None,
+    title: Optional[str] = None,
+) -> str:
+    """Render the replication state of a :class:`ReplicatedStore`.
+
+    Parameters
+    ----------
+    store:
+        A :class:`repro.stablestore.ReplicatedStore`.
+    repairer:
+        Optional :class:`repro.stablestore.ReplicationRepairer` whose
+        repair counters are appended.
+    """
+    rows = []
+    for server in store.storage.servers:
+        rows.append(
+            (
+                f"store{server.server_id}",
+                server.state.value,
+                len(server.replicas),
+                fmt_bytes(server.stored_bytes()),
+                server.failures,
+            )
+        )
+    text = render_table(
+        ["server", "state", "replicas", "bytes", "failures"],
+        rows,
+        title=title
+        or (
+            f"Stable-storage service: rf={store.replication} "
+            f"W={store.write_quorum} R={store.read_quorum}"
+        ),
+    )
+    summary: List[str] = [
+        f"keys={len(list(store.keys()))}"
+        f" logical={fmt_bytes(store.stored_bytes())}"
+        f" physical={fmt_bytes(store.physical_bytes())}",
+        f"under-replicated={len(store.under_replicated())}"
+        f" lost={len(store.lost_keys())}",
+        f"write retries={store.write_retries}"
+        f" read retries={store.read_retries}"
+        f" backoff total={fmt_ns(store.backoff_ns_total)}",
+        f"quorum failures: write={store.quorum_write_failures}"
+        f" read={store.quorum_read_failures}",
+    ]
+    if repairer is not None:
+        summary.append(
+            f"repairs={repairer.repairs_completed}"
+            f" re-replicated={fmt_bytes(repairer.bytes_rereplicated)}"
+        )
+    return text + "\n" + "\n".join(summary)

@@ -1,0 +1,38 @@
+"""Replicated remote stable-storage service.
+
+The paper's fault-tolerance argument (Section 4.1) hinges on *remote*
+stable storage -- "checkpoint data cannot be retrieved in case of a
+failure of the machine" when stored locally -- yet a single remote file
+server is itself a machine that fails.  This subpackage models the
+storage tier the way scalable system-level C/R work after the paper
+(petascale checkpoint filesystems, CRAFT-style libraries) found
+necessary: a *service* of N storage-server nodes on the cluster's
+shared clock, each of which can fail-stop and recover, fronted by a
+quorum-replicated client.
+
+* :class:`StorageServer` / :class:`StorageCluster` -- fail-stop storage
+  server nodes with per-server disks behind one shared ingress link
+  (contention when many compute nodes checkpoint simultaneously).
+* :class:`ReplicatedStore` -- a :class:`~repro.storage.StorageBackend`
+  placing every blob on ``replication`` servers (rendezvous hashing),
+  acknowledging writes at a W-of-N quorum and reads at R-of-N, with
+  timeout + exponential-backoff retries around failed servers.
+* :class:`ReplicationRepairer` -- background re-replication of
+  under-replicated blobs after a storage-server failure.
+* :class:`GenerationGC` -- garbage collection of superseded checkpoint
+  generations (delta chains are walked and protected).
+"""
+
+from .gc import GenerationGC
+from .repair import ReplicationRepairer
+from .replicated import ReplicatedStore
+from .server import StorageCluster, StorageServer, StorageServerState
+
+__all__ = [
+    "StorageServer",
+    "StorageServerState",
+    "StorageCluster",
+    "ReplicatedStore",
+    "ReplicationRepairer",
+    "GenerationGC",
+]

@@ -1,0 +1,108 @@
+"""Garbage collection of superseded checkpoint generations.
+
+Every mechanism keys images as ``<mech>/<pid>/<counter>`` (see
+:meth:`repro.core.checkpointer.Checkpointer._new_request`), so the
+service can group blobs into per-process generation sequences and drop
+all but the newest few -- the service-level safety net under the
+coordinator's own wave pruning (a dead rank's waves, or a coordinator
+that never enabled ``keep_waves``, would otherwise leak every
+generation forever).
+
+Incremental images chain back to a full base via ``parent_key``; the
+sweeper walks those chains (via the I/O-free ``peek``) and never deletes
+an ancestor of a retained generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import StorageError
+from ..storage.backends import StorageBackend
+
+__all__ = ["GenerationGC"]
+
+
+def _parse_generation(key: str) -> Optional[Tuple[str, int]]:
+    """Split ``mech/pid/counter`` into (group, generation) or None."""
+    parts = key.rsplit("/", 1)
+    if len(parts) != 2 or not parts[1].isdigit():
+        return None
+    return parts[0], int(parts[1])
+
+
+class GenerationGC:
+    """Keeps the newest ``keep`` generations per checkpoint group.
+
+    Parameters
+    ----------
+    store:
+        Any :class:`~repro.storage.backends.StorageBackend`; works for
+        the replicated service and the monolithic backends alike.
+    keep:
+        Generations retained per ``<mech>/<pid>`` group.
+    """
+
+    def __init__(self, store: StorageBackend, keep: int = 2) -> None:
+        if keep < 1:
+            raise StorageError("GenerationGC must keep at least one generation")
+        self.store = store
+        self.keep = int(keep)
+        self.collected = 0
+        self.bytes_collected = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def _protected_chain(self, key: str, protected: Set[str]) -> None:
+        """Add ``key``'s whole ancestor chain to ``protected``."""
+        k: Optional[str] = key
+        while k is not None and k not in protected:
+            protected.add(k)
+            try:
+                obj = self.store.peek(k)
+            except StorageError:
+                break  # unreadable right now; leave deeper ancestors alone
+            k = getattr(obj, "parent_key", None)
+
+    def sweep(self) -> List[str]:
+        """Delete superseded generations; returns the keys collected."""
+        groups: Dict[str, List[Tuple[int, str]]] = {}
+        for key in list(self.store.keys()):
+            parsed = _parse_generation(key)
+            if parsed is None:
+                continue  # foreign key shape: never touched
+            group, gen = parsed
+            groups.setdefault(group, []).append((gen, key))
+        protected: Set[str] = set()
+        doomed: List[str] = []
+        for group, members in groups.items():
+            members.sort()
+            for _, key in members[-self.keep:]:
+                self._protected_chain(key, protected)
+            doomed.extend(key for _, key in members[: -self.keep])
+        collected = []
+        for key in doomed:
+            if key in protected:
+                continue
+            size = self.store.blob_size(key)
+            self.store.delete(key)
+            collected.append(key)
+            self.bytes_collected += size
+        self.collected += len(collected)
+        return collected
+
+    # ------------------------------------------------------------------
+    def start(self, engine, interval_ns: int) -> None:
+        """Run :meth:`sweep` periodically on the shared clock."""
+
+        def tick() -> None:
+            if self._stopped:
+                return
+            self.sweep()
+            engine.after(int(interval_ns), tick, label="generation-gc")
+
+        engine.after(int(interval_ns), tick, label="generation-gc")
+
+    def stop(self) -> None:
+        """Stop the periodic sweep."""
+        self._stopped = True

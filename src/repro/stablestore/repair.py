@@ -1,0 +1,132 @@
+"""Background re-replication of under-replicated checkpoint blobs.
+
+After a storage-server failure, every blob that had a replica on the
+dead server is one failure away from being unrecoverable.  The repairer
+does what real replicated stores do: detect the failure, scan for
+under-replicated blobs, and copy each one from a surviving holder to a
+new server -- paying real device time on the source disk, the shared
+ingress link, and the destination disk, so a repair storm competes with
+ongoing checkpoint waves for the same bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..simkernel.costs import NS_PER_MS
+from .replicated import ReplicatedStore
+
+__all__ = ["ReplicationRepairer"]
+
+
+class ReplicationRepairer:
+    """Repairs replication after storage-server failures.
+
+    Parameters
+    ----------
+    store:
+        The replicated store to watch.
+    engine:
+        The shared simulation clock.
+    scan_interval_ns:
+        Period of the steady-state background scan (repairs also kick
+        off shortly after any observed server failure).
+    detect_delay_ns:
+        Failure-detection latency before the post-failure scan starts.
+    max_repairs_per_scan:
+        Throttle so a repair storm does not saturate the ingress link.
+    """
+
+    def __init__(
+        self,
+        store: ReplicatedStore,
+        engine,
+        scan_interval_ns: int = 10 * NS_PER_MS,
+        detect_delay_ns: int = 2 * NS_PER_MS,
+        max_repairs_per_scan: int = 32,
+        auto_start: bool = True,
+    ) -> None:
+        self.store = store
+        self.engine = engine
+        self.scan_interval_ns = int(scan_interval_ns)
+        self.detect_delay_ns = int(detect_delay_ns)
+        self.max_repairs_per_scan = int(max_repairs_per_scan)
+        self._inflight: Set[str] = set()
+        self._stopped = False
+        self.repairs_completed = 0
+        self.bytes_rereplicated = 0
+        store.storage.on_failure(self._on_server_failure)
+        if auto_start:
+            self.engine.after(self.scan_interval_ns, self._tick, label="repair-scan")
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Stop scanning (in-flight copies still complete)."""
+        self._stopped = True
+
+    def _on_server_failure(self, server) -> None:
+        if self._stopped:
+            return
+        self.engine.after(self.detect_delay_ns, self.scan, label="repair-detect")
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.scan()
+        self.engine.after(self.scan_interval_ns, self._tick, label="repair-scan")
+
+    # ------------------------------------------------------------------
+    def scan(self) -> int:
+        """Start repair copies for under-replicated blobs; returns how
+        many copies were initiated."""
+        if self._stopped:
+            return 0
+        started = 0
+        for key in self.store.under_replicated():
+            if started >= self.max_repairs_per_scan:
+                break
+            if key in self._inflight:
+                continue
+            if self._start_repair(key):
+                started += 1
+        return started
+
+    def _start_repair(self, key: str) -> bool:
+        store = self.store
+        source = None
+        dest = None
+        for server in store.candidates(key):
+            if not server.up:
+                continue
+            if server.holds(key):
+                if source is None:
+                    source = server
+            elif dest is None:
+                dest = server
+        if source is None or dest is None:
+            return False  # nothing readable, or nowhere to put a copy
+        obj, nbytes = source.replicas[key]
+        now = self.engine.now_ns
+        # source disk read -> shared link -> destination disk write.
+        delay = source.disk.submit(now, nbytes)
+        delay += store.device.submit(now + delay, nbytes)
+        delay += dest.disk.submit(now + delay, nbytes)
+        source.bytes_read += nbytes
+        self._inflight.add(key)
+        self.engine.after(
+            delay,
+            lambda: self._finish(key, dest, obj, nbytes),
+            label="repair-copy",
+        )
+        return True
+
+    def _finish(self, key: str, dest, obj, nbytes: int) -> None:
+        self._inflight.discard(key)
+        if key not in self.store._directory:
+            return  # deleted (GC'd) while the copy was in flight
+        if not dest.up:
+            return  # destination died mid-copy; a later scan retries
+        dest.put_replica(key, obj, nbytes)
+        self.repairs_completed += 1
+        self.bytes_rereplicated += nbytes
+        self.engine.count("replica_repairs")

@@ -1,0 +1,287 @@
+"""The quorum-replicated stable-storage client.
+
+:class:`ReplicatedStore` implements the :class:`~repro.storage.backends.
+StorageBackend` protocol, so every mechanism and the cluster use it
+exactly like the monolithic :class:`~repro.storage.RemoteStorage` it
+replaces -- but behind the protocol each blob is placed on
+``replication`` storage servers chosen by rendezvous hashing, writes
+return once a W-of-N quorum of replicas is durable, and reads return
+once R-of-N replicas respond.
+
+A request that lands on a failed server costs a detection timeout, then
+retries against the next candidate after an exponentially-backed-off
+delay (the sloppy-quorum walk real replicated stores do).
+:class:`~repro.errors.StorageLostError` is raised only when the quorum
+itself is unreachable -- fewer than W (or R) live replicas exist.
+
+The client's key directory (which keys exist, at what size) is modelled
+as reliable metadata, the usual assumption for a replicated metadata
+service; what fails here is the *data* tier, which is where checkpoint
+bytes live and what the survivability experiments stress.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import StorageError, StorageLostError
+from ..simkernel.costs import NS_PER_MS, NS_PER_US
+from ..storage.backends import StorageBackend, StorageKind
+from .server import StorageCluster, StorageServer
+
+__all__ = ["ReplicatedStore"]
+
+
+def _score(key: str, server_id: int) -> int:
+    """Deterministic rendezvous-hash score (unsalted, unlike ``hash``)."""
+    return zlib.crc32(f"{key}|{server_id}".encode())
+
+
+class ReplicatedStore(StorageBackend):
+    """W-of-N quorum writes, R-of-N quorum reads over N storage servers.
+
+    Parameters
+    ----------
+    storage:
+        The :class:`StorageCluster` holding the server nodes and the
+        shared ingress link.
+    replication:
+        Replicas per blob (the paper-era single file server is
+        ``replication=1``).
+    write_quorum:
+        Acks required before a write returns; defaults to a majority of
+        ``replication``.
+    read_quorum:
+        Replica responses required for a read; defaults to 1 (all
+        replicas are identical -- checkpoint images are immutable).
+    timeout_ns / backoff_base_ns / backoff_factor / backoff_cap_ns:
+        The failed-server detection timeout and the exponential backoff
+        between successive retries.
+    """
+
+    kind = StorageKind.REMOTE
+    survives_node_failure = True
+
+    def __init__(
+        self,
+        storage: StorageCluster,
+        replication: int = 2,
+        write_quorum: Optional[int] = None,
+        read_quorum: int = 1,
+        timeout_ns: int = 2 * NS_PER_MS,
+        backoff_base_ns: int = 500 * NS_PER_US,
+        backoff_factor: float = 2.0,
+        backoff_cap_ns: int = 16 * NS_PER_MS,
+    ) -> None:
+        n = len(storage.servers)
+        if not 1 <= replication <= n:
+            raise StorageError(
+                f"replication factor {replication} needs 1..{n} servers"
+            )
+        super().__init__(device=storage.link)
+        self.storage = storage
+        self.replication = replication
+        self.write_quorum = write_quorum if write_quorum is not None else replication // 2 + 1
+        self.read_quorum = read_quorum
+        if not 1 <= self.write_quorum <= replication:
+            raise StorageError(f"write quorum {self.write_quorum} not in 1..{replication}")
+        if not 1 <= self.read_quorum <= replication:
+            raise StorageError(f"read quorum {self.read_quorum} not in 1..{replication}")
+        self.timeout_ns = int(timeout_ns)
+        self.backoff_base_ns = int(backoff_base_ns)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_cap_ns = int(backoff_cap_ns)
+        #: key -> nbytes for every blob the service has accepted.
+        self._directory: Dict[str, int] = {}
+        # Retry / failure statistics (the E19 quorum-behaviour evidence).
+        self.write_retries = 0
+        self.read_retries = 0
+        self.backoff_ns_total = 0
+        self.quorum_write_failures = 0
+        self.quorum_read_failures = 0
+        self.last_write_latency_ns = 0
+        self._latency_ewma_ns: Optional[float] = None
+        self.latency_alpha = 0.3
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def candidates(self, key: str) -> List[StorageServer]:
+        """All servers in rendezvous-preference order for ``key``.
+
+        The first ``replication`` entries are the preferred replica set;
+        the rest are the fallback walk order when preferred servers are
+        down.
+        """
+        return sorted(
+            self.storage.servers,
+            key=lambda s: (_score(key, s.server_id), s.server_id),
+            reverse=True,
+        )
+
+    def holders(self, key: str, up_only: bool = True) -> List[int]:
+        """Server ids holding a replica of ``key`` (reachable ones only
+        by default), in preference order."""
+        return [
+            s.server_id
+            for s in self.candidates(key)
+            if s.holds(key) and (s.up or not up_only)
+        ]
+
+    def replica_count(self, key: str) -> int:
+        """Live (reachable) replicas of ``key``."""
+        return len(self.holders(key))
+
+    def under_replicated(self) -> List[str]:
+        """Keys with at least one live replica but fewer than the target."""
+        return [
+            k
+            for k in sorted(self._directory)
+            if 0 < self.replica_count(k) < self.replication
+        ]
+
+    def lost_keys(self) -> List[str]:
+        """Keys with no reachable replica at all (data currently lost)."""
+        return [k for k in sorted(self._directory) if self.replica_count(k) == 0]
+
+    # ------------------------------------------------------------------
+    # StorageBackend protocol
+    # ------------------------------------------------------------------
+    def store(self, key: str, obj: Any, nbytes: int, now_ns: int) -> int:
+        """Replicate ``obj`` onto up to ``replication`` servers.
+
+        Returns the client-visible delay: retry penalties plus the time
+        at which the W-th replica is durable (later replicas complete in
+        the background, as quorum systems do).
+        """
+        placed: List[Tuple[StorageServer, int]] = []
+        penalty = 0
+        backoff = self.backoff_base_ns
+        for server in self.candidates(key):
+            if len(placed) >= self.replication:
+                break
+            if not server.up:
+                # RPC times out, client backs off, walks to the next
+                # candidate (sloppy-quorum fallback placement).
+                penalty += self.timeout_ns + backoff
+                self.write_retries += 1
+                self.backoff_ns_total += backoff
+                backoff = min(int(backoff * self.backoff_factor), self.backoff_cap_ns)
+                continue
+            start = now_ns + penalty
+            link_delay = self.device.submit(start, nbytes)
+            disk_delay = server.disk.submit(start + link_delay, nbytes)
+            placed.append((server, penalty + link_delay + disk_delay))
+        if len(placed) < self.write_quorum:
+            # Abort: roll the partial replicas back so no orphan copies
+            # linger outside the directory.
+            for server, _ in placed:
+                server.drop_replica(key)
+            self.quorum_write_failures += 1
+            raise StorageLostError(
+                f"write quorum unreachable for {key!r}: "
+                f"{len(placed)} of {self.write_quorum} required replicas placed "
+                f"({len(self.storage.up_servers())}/{len(self.storage.servers)} "
+                f"servers up)"
+            )
+        for server, _ in placed:
+            server.put_replica(key, obj, nbytes)
+        self._directory[key] = nbytes
+        self.bytes_written += nbytes * len(placed)
+        delay = sorted(d for _, d in placed)[self.write_quorum - 1]
+        self.last_write_latency_ns = delay
+        if self._latency_ewma_ns is None:
+            self._latency_ewma_ns = float(delay)
+        else:
+            self._latency_ewma_ns = (
+                self.latency_alpha * delay
+                + (1.0 - self.latency_alpha) * self._latency_ewma_ns
+            )
+        return delay
+
+    def load(self, key: str, now_ns: int) -> Tuple[Any, int]:
+        """Fetch ``obj`` from an R-of-N quorum of replica holders."""
+        if key not in self._directory:
+            raise StorageError(f"no blob stored under {key!r}")
+        nbytes = self._directory[key]
+        responders: List[int] = []
+        obj: Any = None
+        penalty = 0
+        backoff = self.backoff_base_ns
+        for server in self.candidates(key):
+            if len(responders) >= self.read_quorum:
+                break
+            if not server.holds(key):
+                continue  # a "not found" reply is immediate
+            if not server.up:
+                penalty += self.timeout_ns + backoff
+                self.read_retries += 1
+                self.backoff_ns_total += backoff
+                backoff = min(int(backoff * self.backoff_factor), self.backoff_cap_ns)
+                continue
+            start = now_ns + penalty
+            disk_delay = server.disk.submit(start, nbytes)
+            link_delay = self.device.submit(start + disk_delay, nbytes)
+            responders.append(penalty + disk_delay + link_delay)
+            server.bytes_read += nbytes
+            obj = server.replicas[key][0]
+        if len(responders) < self.read_quorum:
+            self.quorum_read_failures += 1
+            raise StorageLostError(
+                f"read quorum unreachable for {key!r}: "
+                f"{len(responders)} of {self.read_quorum} replicas responded"
+            )
+        self.bytes_read += nbytes
+        return obj, max(responders)
+
+    def exists(self, key: str) -> bool:
+        """Whether a read of ``key`` would currently succeed."""
+        return (
+            key in self._directory and self.replica_count(key) >= self.read_quorum
+        )
+
+    def peek(self, key: str) -> Any:
+        """Inspect a blob without charging I/O (GC / availability checks)."""
+        if key not in self._directory:
+            raise StorageError(f"no blob stored under {key!r}")
+        for server in self.candidates(key):
+            if server.up and server.holds(key):
+                return server.replicas[key][0]
+        raise StorageLostError(f"no reachable replica of {key!r}")
+
+    def delete(self, key: str) -> None:
+        """Drop every replica (idempotent; failed servers apply the
+        deletion on recovery, modelled as immediate tombstones)."""
+        self._directory.pop(key, None)
+        for server in self.storage.servers:
+            server.drop_replica(key)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate every key the service has accepted."""
+        return iter(sorted(self._directory))
+
+    def stored_bytes(self) -> int:
+        """Logical bytes held (one count per blob, as the base class)."""
+        return sum(self._directory.values())
+
+    def blob_size(self, key: str) -> int:
+        """Accounted size of a stored blob (0 when absent)."""
+        return self._directory.get(key, 0)
+
+    def physical_bytes(self) -> int:
+        """Replica-weighted bytes actually on server disks."""
+        return sum(s.stored_bytes() for s in self.storage.servers)
+
+    # ------------------------------------------------------------------
+    @property
+    def avg_write_latency_ns(self) -> float:
+        """EWMA of client-visible write latency (autonomic feedback)."""
+        return float(self._latency_ewma_ns or 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ReplicatedStore rf={self.replication} "
+            f"W={self.write_quorum} R={self.read_quorum} "
+            f"keys={len(self._directory)}>"
+        )

@@ -90,6 +90,24 @@ class StorageBackend:
             return False
         return key in self._blobs
 
+    def peek(self, key: str) -> Any:
+        """Inspect a stored blob without charging I/O.
+
+        A simulation-level helper (availability pre-checks, garbage
+        collection walking delta chains); real I/O goes through
+        :meth:`load`.
+        """
+        self._check_available()
+        try:
+            return self._blobs[key][0]
+        except KeyError:
+            raise StorageError(f"no blob stored under {key!r}") from None
+
+    def blob_size(self, key: str) -> int:
+        """Accounted size of a stored blob (0 when absent)."""
+        entry = self._blobs.get(key)
+        return entry[1] if entry else 0
+
     def delete(self, key: str) -> None:
         """Drop a blob (old checkpoint garbage collection)."""
         self._blobs.pop(key, None)
