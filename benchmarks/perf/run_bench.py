@@ -1,0 +1,313 @@
+#!/usr/bin/env python
+"""Wall-clock microbenchmarks for the vectorized capture/scan fast path.
+
+Unlike the ``test_eNN`` experiments (which measure *virtual* nanoseconds
+inside the simulation), this harness measures *simulator wall-clock*:
+how fast the Python process itself scans blocks, captures pages,
+materializes chains and writes deduplicated checkpoint streams.  The
+PR's perf claims live here:
+
+* ``block_scan``  -- vectorized :func:`repro.core.digest.block_digests`
+  vs a faithful reimplementation of the seed's scalar per-block loop
+  (``zlib.adler32`` per slice plus a dict lookup per block).  The
+  acceptance bar is a >=3x speedup.
+* ``capture``     -- extent-coalesced page capture (``read_pages`` +
+  ``add_extent`` per run) vs the seed's per-page ``read_page`` +
+  ``add_page`` loop.
+* ``materialize`` -- flattening an incremental chain (extent base plus
+  sub-page delta generations) with the overlay-based
+  :func:`~repro.core.image.materialize_chain`.
+* ``dedup``       -- bytes pushed at the backing store with and without
+  the content-addressed :class:`~repro.stablestore.ContentStore` for a
+  repeated-generation workload.
+
+Results are written as JSON (default: ``BENCH_PERF.json`` at the repo
+root -- the committed baseline).  ``--check BASELINE.json`` compares the
+fresh block-scan throughput against a committed baseline and exits
+non-zero on a more-than-``--max-regression``-fold slowdown; CI runs this
+against the committed file so the fast path cannot silently rot back
+into the scalar loop.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py
+    PYTHONPATH=src python benchmarks/perf/run_bench.py \
+        --out /tmp/bench.json --check BENCH_PERF.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import zlib
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.capture import _extent_runs  # noqa: E402
+from repro.core.digest import block_digests  # noqa: E402
+from repro.core.image import CheckpointImage, materialize_chain  # noqa: E402
+from repro.simkernel.memory import Prot, VMA, VMAKind  # noqa: E402
+from repro.stablestore import ContentStore  # noqa: E402
+from repro.storage.backends import MemoryStorage  # noqa: E402
+
+PAGE = 4096
+
+
+def best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Minimum wall-clock seconds of ``fn`` over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def make_pages(npages: int, seed: int = 42) -> np.ndarray:
+    """(npages, PAGE) uint8 test corpus: structured, partially repeating."""
+    rng = np.random.default_rng(seed)
+    pages = rng.integers(0, 256, size=(npages, PAGE), dtype=np.uint8)
+    # A third of the corpus repeats earlier content (dedup-able), and a
+    # slice is zero pages, like real heaps.
+    for i in range(0, npages, 3):
+        pages[i] = pages[i % max(1, npages // 3)]
+    pages[:: max(1, npages // 8)] = 0
+    return pages
+
+
+# ----------------------------------------------------------------------
+# 1. Block scan: scalar seed loop vs vectorized digests
+# ----------------------------------------------------------------------
+def scalar_scan(pages: np.ndarray, bs: int, digests: Dict) -> int:
+    """The seed's per-block loop, verbatim shape: slice, adler32, dict."""
+    per_page = PAGE // bs
+    saved = 0
+    for pidx in range(pages.shape[0]):
+        data = pages[pidx]
+        for b in range(per_page):
+            block = data[b * bs : (b + 1) * bs]
+            digest = zlib.adler32(block.tobytes()) & 0xFFFFFFFF
+            key = (pidx, b)
+            prev = digests.get(key)
+            if prev is None or prev != digest:
+                digests[key] = digest
+                saved += 1
+    return saved
+
+
+def vector_scan(pages: np.ndarray, bs: int, prev: Dict) -> int:
+    """The fast path: one digest pass + one compare per page stack."""
+    per_page = PAGE // bs
+    digests = block_digests(pages.reshape(-1), bs).reshape(-1, per_page)
+    saved = 0
+    for pidx in range(pages.shape[0]):
+        cur = digests[pidx]
+        old = prev.get(pidx)
+        saved += per_page if old is None else int(np.count_nonzero(cur != old))
+        prev[pidx] = cur
+    return saved
+
+
+def bench_block_scan(npages: int, bs: int, repeats: int) -> Dict:
+    """Throughput of a warm rescan (digest table populated) both ways."""
+    pages = make_pages(npages)
+    nbytes = pages.size
+
+    scalar_tab: Dict = {}
+    scalar_scan(pages, bs, scalar_tab)  # warm the table: rescan is the hot case
+    t_scalar = best_of(lambda: scalar_scan(pages, bs, scalar_tab), repeats)
+
+    vec_tab: Dict = {}
+    vector_scan(pages, bs, vec_tab)
+    t_vec = best_of(lambda: vector_scan(pages, bs, vec_tab), repeats)
+
+    return {
+        "pages": npages,
+        "block_size": bs,
+        "scalar_mbps": round(nbytes / t_scalar / 1e6, 1),
+        "vectorized_mbps": round(nbytes / t_vec / 1e6, 1),
+        "speedup": round(t_scalar / t_vec, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. Capture: per-page loop vs extent coalescing
+# ----------------------------------------------------------------------
+def bench_capture(npages: int, repeats: int) -> Dict:
+    """Wall cost of filling a CheckpointImage from a resident VMA."""
+    vma = VMA(name="heap", start=0x1000_0000, npages=npages,
+              prot=Prot.READ | Prot.WRITE, kind=VMAKind.HEAP, page_size=PAGE)
+    corpus = make_pages(npages)
+    for i in range(npages):
+        vma.install_page(i, corpus[i])
+    pages: List[Tuple[str, int]] = [("heap", i) for i in range(npages)]
+
+    def meta() -> CheckpointImage:
+        return CheckpointImage(key="b", mechanism="bench", pid=1,
+                               task_name="b", node_id=0, step=0, registers={})
+
+    def per_page() -> None:
+        img = meta()
+        for name, i in pages:
+            img.add_page(name, i, vma.read_page(i))
+
+    def extents() -> None:
+        img = meta()
+        for name, start, n in _extent_runs(pages):
+            if n == 1:
+                img.add_page(name, start, vma.read_page(start))
+            else:
+                img.add_extent(name, start, vma.read_pages(start, n), n)
+
+    t_page = best_of(per_page, repeats)
+    t_ext = best_of(extents, repeats)
+    nbytes = npages * PAGE
+    return {
+        "pages": npages,
+        "per_page_mbps": round(nbytes / t_page / 1e6, 1),
+        "extent_mbps": round(nbytes / t_ext / 1e6, 1),
+        "speedup": round(t_page / t_ext, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. materialize_chain latency
+# ----------------------------------------------------------------------
+def bench_materialize(npages: int, ndeltas: int, repeats: int) -> Dict:
+    """Flatten an extent base + ``ndeltas`` sub-page delta generations."""
+    corpus = make_pages(npages)
+    base = CheckpointImage(key="m/1/0", mechanism="bench", pid=1,
+                           task_name="b", node_id=0, step=0, registers={})
+    for start in range(0, npages, 64):
+        n = min(64, npages - start)
+        base.add_extent("heap", start, corpus[start : start + n].reshape(-1), n)
+    chain = [base]
+    rng = np.random.default_rng(7)
+    for d in range(ndeltas):
+        img = CheckpointImage(key=f"m/1/{d + 1}", mechanism="bench", pid=1,
+                              task_name="b", node_id=0, step=d + 1,
+                              registers={}, parent_key=chain[-1].key)
+        for pidx in rng.choice(npages, size=npages // 8, replace=False):
+            img.add_block("heap", int(pidx), 512,
+                          rng.integers(0, 256, size=512, dtype=np.uint8))
+        chain.append(img)
+
+    t = best_of(lambda: materialize_chain(chain, page_size=PAGE), repeats)
+    flat = materialize_chain(chain, page_size=PAGE)
+    return {
+        "pages": npages,
+        "deltas": ndeltas,
+        "chain_chunks": sum(len(img.chunks) for img in chain),
+        "flat_chunks": len(flat.chunks),
+        "latency_ms": round(t * 1e3, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# 4. Dedup write traffic
+# ----------------------------------------------------------------------
+def bench_dedup(npages: int, generations: int, dirty_fraction: float) -> Dict:
+    """Backing-store bytes for repeated generations, plain vs dedup."""
+    rng = np.random.default_rng(11)
+    corpus = make_pages(npages)
+
+    def generation_images():
+        data = corpus.copy()
+        for g in range(generations):
+            if g:
+                dirty = rng.choice(npages, size=int(npages * dirty_fraction),
+                                   replace=False)
+                data[dirty] = rng.integers(0, 256, size=(dirty.size, PAGE),
+                                           dtype=np.uint8)
+            img = CheckpointImage(key=f"m/1/{g}", mechanism="bench", pid=1,
+                                  task_name="b", node_id=0, step=g, registers={})
+            for i in range(npages):
+                img.add_page("heap", i, data[i])
+            yield img
+
+    plain = MemoryStorage()
+    for img in generation_images():
+        plain.store(img.key, img, img.size_bytes, 0)
+
+    rng = np.random.default_rng(11)  # identical mutation sequence
+    dedup = ContentStore(MemoryStorage())
+    t0 = time.perf_counter()
+    for img in generation_images():
+        dedup.store(img.key, img, img.size_bytes, 0)
+    store_s = time.perf_counter() - t0
+
+    return {
+        "pages": npages,
+        "generations": generations,
+        "dirty_fraction": dirty_fraction,
+        "plain_bytes_written": plain.bytes_written,
+        "dedup_bytes_written": dedup.inner.bytes_written,
+        "traffic_reduction": round(
+            plain.bytes_written / max(1, dedup.inner.bytes_written), 2
+        ),
+        "dedup_ratio": round(dedup.dedup_ratio, 2),
+        "store_mbps": round(
+            dedup.logical_payload_bytes / store_s / 1e6, 1
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+def run(repeats: int) -> Dict:
+    """Run every microbench and return the BENCH_PERF document."""
+    return {
+        "schema": 1,
+        "block_scan": bench_block_scan(npages=256, bs=512, repeats=repeats),
+        "capture": bench_capture(npages=1024, repeats=repeats),
+        "materialize": bench_materialize(npages=512, ndeltas=8, repeats=repeats),
+        "dedup": bench_dedup(npages=256, generations=8, dirty_fraction=0.1),
+    }
+
+
+def check_regression(current: Dict, baseline_path: Path, max_regression: float) -> int:
+    """Exit status for CI: 1 if block-scan throughput regressed too far."""
+    baseline = json.loads(baseline_path.read_text())
+    base = baseline["block_scan"]["vectorized_mbps"]
+    cur = current["block_scan"]["vectorized_mbps"]
+    ratio = base / max(cur, 1e-9)
+    print(f"block_scan vectorized: baseline {base:.1f} MB/s, "
+          f"current {cur:.1f} MB/s ({ratio:.2f}x slower)")
+    if ratio > max_regression:
+        print(f"FAIL: regression exceeds {max_regression:.1f}x")
+        return 1
+    print("OK: within regression budget")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point."""
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_PERF.json",
+                    help="where to write the JSON results")
+    ap.add_argument("--check", type=Path, default=None,
+                    help="baseline JSON to compare block-scan throughput against")
+    ap.add_argument("--max-regression", type=float, default=2.0,
+                    help="allowed slowdown factor vs the baseline")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="timing repeats per microbench (min is reported)")
+    args = ap.parse_args(argv)
+
+    results = run(repeats=args.repeats)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"\nwrote {args.out}")
+
+    if args.check is not None:
+        return check_regression(results, args.check, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

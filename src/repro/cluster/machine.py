@@ -17,7 +17,12 @@ from ..errors import ClusterError, NodeFailedError
 from ..simkernel import Kernel, TaskState
 from ..simkernel.costs import CostModel, DEFAULT_COSTS, NS_PER_S
 from ..simkernel.engine import Engine
-from ..stablestore import ReplicatedStore, ReplicationRepairer, StorageCluster
+from ..stablestore import (
+    ContentStore,
+    ReplicatedStore,
+    ReplicationRepairer,
+    StorageCluster,
+)
 from ..storage import LocalDiskStorage, RemoteStorage
 from ..storage.backends import StorageBackend
 from .failures import FailureModel
@@ -119,6 +124,11 @@ class Cluster:
         without ``storage_servers``).
     storage_repair:
         Run the background re-replication repairer (service mode only).
+    content_dedup:
+        Wrap the replicated service in a content-addressed
+        :class:`~repro.stablestore.ContentStore` so byte-identical page
+        payloads cost one quorum write per *content*, not per generation
+        (experiment E20; service mode only).
     """
 
     def __init__(
@@ -133,6 +143,7 @@ class Cluster:
         write_quorum: Optional[int] = None,
         read_quorum: int = 1,
         storage_repair: bool = True,
+        content_dedup: bool = False,
     ) -> None:
         if n_nodes < 1:
             raise ClusterError("cluster needs at least one node")
@@ -140,17 +151,25 @@ class Cluster:
         self.costs = costs
         self.storage_cluster: Optional[StorageCluster] = None
         self.storage_repairer: Optional[ReplicationRepairer] = None
+        #: The bare quorum client when the service is on (repair and
+        #: replication reporting always talk to this layer).
+        self.replicated_store: Optional[ReplicatedStore] = None
+        self.content_store: Optional[ContentStore] = None
         if storage_servers > 0:
             self.storage_cluster = StorageCluster(self.engine, n_servers=storage_servers)
-            self.remote_storage: StorageBackend = ReplicatedStore(
+            self.replicated_store = ReplicatedStore(
                 self.storage_cluster,
                 replication=replication,
                 write_quorum=write_quorum,
                 read_quorum=read_quorum,
             )
+            self.remote_storage: StorageBackend = self.replicated_store
+            if content_dedup:
+                self.content_store = ContentStore(self.replicated_store)
+                self.remote_storage = self.content_store
             if storage_repair:
                 self.storage_repairer = ReplicationRepairer(
-                    self.remote_storage, self.engine
+                    self.replicated_store, self.engine
                 )
         else:
             self.remote_storage = RemoteStorage()

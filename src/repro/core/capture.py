@@ -179,6 +179,30 @@ def select_pages(
     return pages
 
 
+#: Longest extent a single capture step will coalesce.  Bounds the work
+#: done between preemption points so a time-sharing capture can still be
+#: suspended mid-checkpoint (E10) and a torn capture stays observable (E9).
+MAX_EXTENT_PAGES = 64
+
+
+def _extent_runs(
+    pages: Sequence[Tuple[str, int]], cap: int = MAX_EXTENT_PAGES
+) -> Generator[Tuple[str, int, int], None, None]:
+    """Group an ordered (vma, page) list into (vma, first_page, npages) runs."""
+    cur_vma: Optional[str] = None
+    start = 0
+    n = 0
+    for vma_name, pidx in pages:
+        if vma_name == cur_vma and pidx == start + n and n < cap:
+            n += 1
+        else:
+            if cur_vma is not None:
+                yield cur_vma, start, n
+            cur_vma, start, n = vma_name, pidx, 1
+    if cur_vma is not None:
+        yield cur_vma, start, n
+
+
 def copy_pages(
     kernel: Kernel,
     target: Task,
@@ -186,22 +210,27 @@ def copy_pages(
     pages: Sequence[Tuple[str, int]],
     user_mode: bool = False,
 ) -> Generator:
-    """Copy the selected pages into the image, one op per page.
+    """Copy the selected pages into the image, one cost op per page.
 
-    Preemptible at page granularity -- exactly why a time-sharing
-    checkpoint can be suspended halfway (E10).  ``user_mode`` adds the
-    read-then-write syscall overhead a user-level checkpointer pays per
-    buffered chunk.
+    Contiguous runs of selected pages within a VMA coalesce into one
+    extent chunk (one array slice + one Chunk object instead of one per
+    page), capped at :data:`MAX_EXTENT_PAGES`.  The virtual cost is
+    unchanged -- still one Compute per page, so the capture stays
+    preemptible at page granularity (E10) and ``user_mode`` still pays
+    its per-page write() syscall.
     """
     page_size = kernel.costs.page_size
-    for vma_name, pidx in pages:
+    per_page_ns = kernel.costs.memcpy_ns(page_size)
+    if user_mode:
+        per_page_ns += kernel.costs.syscall_ns(0)  # write() per page buffer
+    for vma_name, start, npages in _extent_runs(pages):
         vma = target.mm.vma(vma_name)
-        data = vma.read_page(pidx)
-        image.add_page(vma_name, pidx, data)
-        cost = kernel.costs.memcpy_ns(page_size)
-        if user_mode:
-            cost += kernel.costs.syscall_ns(0)  # write() per page buffer
-        yield ops.Compute(ns=cost)
+        if npages == 1:
+            image.add_page(vma_name, start, vma.read_page(start))
+        else:
+            image.add_extent(vma_name, start, vma.read_pages(start, npages), npages)
+        for _ in range(npages):
+            yield ops.Compute(ns=per_page_ns)
 
 
 #: Stores are issued in slices of roughly this much virtual time so the
@@ -303,6 +332,12 @@ def restore_image(
     install_ns = 0
     for chunk in image.chunks:
         vma = mm.vma(chunk.vma)
+        if chunk.npages > 1:
+            ps = vma.page_size
+            for i in range(chunk.npages):
+                vma.install_page(chunk.page_index + i, chunk.data[i * ps : (i + 1) * ps])
+            install_ns += costs.memcpy_ns(ps) * chunk.npages
+            continue
         if chunk.offset == 0 and chunk.nbytes == vma.page_size:
             vma.install_page(chunk.page_index, chunk.data)
         else:

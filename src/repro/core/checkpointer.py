@@ -261,7 +261,11 @@ class Checkpointer:
         """
         kernel = target_kernel or self.kernel
         chain, io_delay = self.image_chain(key, kernel)
-        image = chain[0] if len(chain) == 1 else materialize_chain(chain)
+        image = (
+            chain[0]
+            if len(chain) == 1
+            else materialize_chain(chain, page_size=kernel.costs.page_size)
+        )
         return restore_image(
             kernel,
             image,

@@ -15,7 +15,7 @@ ones (:func:`materialize_chain`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,26 +34,55 @@ FD_RECORD_BYTES = 48
 
 @dataclass
 class Chunk:
-    """One contiguous span of saved memory within a page.
+    """One contiguous span of saved memory.
 
     ``offset``/``nbytes`` allow sub-page blocks; page-granularity
-    mechanisms always use offset 0 and nbytes == page_size.
+    mechanisms use offset 0 and nbytes == page_size.  ``npages > 1``
+    marks an *extent*: ``data`` covers that many contiguous pages
+    starting at ``page_index`` (offset must be 0).  Extents collapse
+    thousands of per-page Chunk objects into a handful of array slices;
+    everything that consumes chunks either handles extents natively or
+    splits them with :meth:`split_pages`.
     """
 
     vma: str
     page_index: int
     offset: int
     data: np.ndarray  # uint8 copy of the saved bytes
-    checksum: int = 0
+    npages: int = 1
+    #: Lazily computed on first access (many chunks are captured, sent
+    #: and dropped without anyone reading the checksum).
+    _checksum: Optional[int] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        if self.checksum == 0:
-            self.checksum = page_checksum(self.data)
+        if self.npages > 1 and self.offset != 0:
+            raise CheckpointError("multi-page extent must start at offset 0")
+
+    @property
+    def checksum(self) -> int:
+        """Deterministic checksum of the payload, computed on demand."""
+        if self._checksum is None:
+            self._checksum = page_checksum(self.data)
+        return self._checksum
 
     @property
     def nbytes(self) -> int:
         """Saved payload size."""
         return int(self.data.size)
+
+    def split_pages(self) -> Iterator["Chunk"]:
+        """Yield per-page chunks (self if not an extent; views, no copies)."""
+        if self.npages == 1:
+            yield self
+            return
+        ps = self.data.size // self.npages
+        for i in range(self.npages):
+            yield Chunk(
+                vma=self.vma,
+                page_index=self.page_index + i,
+                offset=0,
+                data=self.data[i * ps : (i + 1) * ps],
+            )
 
 
 @dataclass
@@ -149,6 +178,20 @@ class CheckpointImage:
         self.chunks.append(chunk)
         return chunk
 
+    def add_extent(
+        self, vma_name: str, page_index: int, data: np.ndarray, npages: int
+    ) -> Chunk:
+        """Append a multi-page extent chunk (copying ``data``)."""
+        chunk = Chunk(
+            vma=vma_name,
+            page_index=page_index,
+            offset=0,
+            data=np.array(data, copy=True).reshape(-1),
+            npages=npages,
+        )
+        self.chunks.append(chunk)
+        return chunk
+
     # ------------------------------------------------------------------
     def verify_against(self, task: Task) -> List[str]:
         """Compare every chunk with the task's live memory.
@@ -158,37 +201,61 @@ class CheckpointImage:
         captures when the application was not stopped, experiment E9).
         """
         problems: List[str] = []
-        for c in self.chunks:
+        for chunk in self.chunks:
             try:
-                vma = task.mm.vma(c.vma)
+                vma = task.mm.vma(chunk.vma)
             except Exception:
-                problems.append(f"vma {c.vma!r} missing")
+                problems.append(f"vma {chunk.vma!r} missing")
                 continue
-            live = vma.read_page(c.page_index)[c.offset : c.offset + c.nbytes]
-            if page_checksum(np.ascontiguousarray(live)) != c.checksum:
-                problems.append(f"{c.vma}[{c.page_index}]+{c.offset} differs")
+            for c in chunk.split_pages():
+                live = vma.read_page(c.page_index)[c.offset : c.offset + c.nbytes]
+                if page_checksum(np.ascontiguousarray(live)) != c.checksum:
+                    problems.append(f"{c.vma}[{c.page_index}]+{c.offset} differs")
         return problems
 
     def chunk_index(self) -> Dict[Any, Chunk]:
-        """Last-writer-wins index of chunks by (vma, page, offset)."""
+        """Last-writer-wins index of chunks by (vma, page, offset).
+
+        Extents are split into per-page entries (data views, no copies)
+        so callers see the same keys regardless of capture coalescing.
+        """
         out: Dict[Any, Chunk] = {}
-        for c in self.chunks:
-            out[(c.vma, c.page_index, c.offset)] = c
+        for chunk in self.chunks:
+            for c in chunk.split_pages():
+                out[(c.vma, c.page_index, c.offset)] = c
         return out
 
 
-def materialize_chain(images: Sequence[CheckpointImage]) -> CheckpointImage:
+def _covered_runs(mask: np.ndarray) -> List[Tuple[int, int]]:
+    """(start, length) runs of True in a boolean byte mask."""
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [idx.size - 1]))
+    return [(int(idx[s]), int(idx[e] - idx[s] + 1)) for s, e in zip(starts, ends)]
+
+
+def materialize_chain(
+    images: Sequence[CheckpointImage], page_size: Optional[int] = None
+) -> CheckpointImage:
     """Flatten a full-image + deltas chain into one restorable image.
 
     ``images`` must be ordered base-first; the base must be a full image
     and each subsequent delta's ``parent_key`` must name its predecessor.
+
+    Chunks are merged through a per-page byte overlay: each chunk paints
+    its span in chain order, so a later sub-page delta correctly patches
+    *into* an earlier whole-page or extent chunk instead of replacing it
+    wholesale.  When ``page_size`` is given, fully covered neighbouring
+    pages are re-merged into extents in the flattened output.
     """
     if not images:
         raise RestartError("empty image chain")
     base = images[0]
     if base.is_incremental:
         raise RestartError(f"chain base {base.key!r} is itself incremental")
-    merged: Dict[Any, Chunk] = dict(base.chunk_index())
     prev_key = base.key
     for delta in images[1:]:
         if delta.parent_key != prev_key:
@@ -196,8 +263,66 @@ def materialize_chain(images: Sequence[CheckpointImage]) -> CheckpointImage:
                 f"broken chain: {delta.key!r} has parent {delta.parent_key!r}, "
                 f"expected {prev_key!r}"
             )
-        merged.update(delta.chunk_index())
         prev_key = delta.key
+    # ---- overlay pass: paint every chunk, chain order = write order ----
+    overlays: Dict[Tuple[str, int], Tuple[np.ndarray, np.ndarray]] = {}
+    for img in images:
+        for chunk in img.chunks:
+            for c in chunk.split_pages():
+                key = (c.vma, c.page_index)
+                end = c.offset + c.nbytes
+                entry = overlays.get(key)
+                if entry is None:
+                    size = max(end, page_size or 0)
+                    entry = (np.zeros(size, np.uint8), np.zeros(size, bool))
+                    overlays[key] = entry
+                elif end > entry[0].size:
+                    buf = np.zeros(end, np.uint8)
+                    msk = np.zeros(end, bool)
+                    buf[: entry[0].size] = entry[0]
+                    msk[: entry[1].size] = entry[1]
+                    entry = (buf, msk)
+                    overlays[key] = entry
+                entry[0][c.offset : end] = c.data
+                entry[1][c.offset : end] = True
+    # ---- emit pass: covered runs per page, extents re-merged ----------
+    merged: List[Chunk] = []
+    pending: Optional[Tuple[str, int, List[np.ndarray]]] = None
+
+    def flush() -> None:
+        nonlocal pending
+        if pending is None:
+            return
+        vma, first, bufs = pending
+        pending = None
+        if len(bufs) == 1:
+            merged.append(Chunk(vma=vma, page_index=first, offset=0, data=bufs[0]))
+        else:
+            merged.append(
+                Chunk(
+                    vma=vma,
+                    page_index=first,
+                    offset=0,
+                    data=np.concatenate(bufs),
+                    npages=len(bufs),
+                )
+            )
+
+    for (vma, pidx) in sorted(overlays):
+        buf, mask = overlays[(vma, pidx)]
+        if page_size is not None and buf.size == page_size and mask.all():
+            if pending is not None and pending[0] == vma and pending[1] + len(pending[2]) == pidx:
+                pending[2].append(buf)
+            else:
+                flush()
+                pending = (vma, pidx, [buf])
+            continue
+        flush()
+        for start, length in _covered_runs(mask):
+            merged.append(
+                Chunk(vma=vma, page_index=pidx, offset=start, data=buf[start : start + length])
+            )
+    flush()
     last = images[-1]
     flat = CheckpointImage(
         key=last.key + "+flat",
@@ -210,7 +335,7 @@ def materialize_chain(images: Sequence[CheckpointImage]) -> CheckpointImage:
         vmas=list(last.vmas),
         fds=list(last.fds),
         signals=dict(last.signals),
-        chunks=list(merged.values()),
+        chunks=merged,
         parent_key=None,
         time_ns=last.time_ns,
         user_state=dict(last.user_state),

@@ -72,10 +72,16 @@ class HardwareCheckpointer(Checkpointer):
 
         snapshot_metadata(self.kernel, task, image)
         if image.parent_key is None:
-            # First epoch: full resident snapshot.
+            # First epoch: full resident snapshot, extent-coalesced.
+            from ...core.capture import _extent_runs
+
             for vma in task.mm.vmas:
-                for pidx in vma.present_pages():
-                    image.add_page(vma.name, int(pidx), vma.read_page(int(pidx)))
+                resident = [(vma.name, int(p)) for p in vma.present_pages()]
+                for name, start, npages in _extent_runs(resident):
+                    if npages == 1:
+                        image.add_page(name, start, vma.read_page(start))
+                    else:
+                        image.add_extent(name, start, vma.read_pages(start, npages), npages)
             self.tracker.drain_into(task, CheckpointImage(
                 key="discard", mechanism="", pid=0, task_name="", node_id=0,
                 step=0, registers={},
@@ -102,7 +108,11 @@ class HardwareCheckpointer(Checkpointer):
         process, memory and registers wound back.
         """
         chain, _ = self.image_chain(key)
-        image = chain[0] if len(chain) == 1 else materialize_chain(chain)
+        image = (
+            chain[0]
+            if len(chain) == 1
+            else materialize_chain(chain, page_size=self.kernel.costs.page_size)
+        )
         if image.pid != task.pid:
             raise RestartError(
                 f"epoch {key!r} belongs to pid {image.pid}, not {task.pid}"
@@ -110,8 +120,9 @@ class HardwareCheckpointer(Checkpointer):
         rewritten = 0
         for chunk in image.chunks:
             vma = task.mm.vma(chunk.vma)
-            arr, _ = vma.ensure_page(chunk.page_index)
-            arr[chunk.offset : chunk.offset + chunk.nbytes] = chunk.data
+            for c in chunk.split_pages():
+                arr, _ = vma.ensure_page(c.page_index)
+                arr[c.offset : c.offset + c.nbytes] = c.data
             rewritten += chunk.nbytes
         task.registers = Registers.from_snapshot(image.registers)
         workload = image.user_state.get("workload")

@@ -25,16 +25,15 @@ application's memory that changed since the last checkpoint":
 
 from __future__ import annotations
 
-import zlib
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Generator, List, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..errors import CheckpointError
 from ..simkernel import Kernel, Task, ops
-from ..simkernel.memory import PageFlag, Prot, VMA
+from ..simkernel.memory import Prot
 from ..simkernel.signals import HandlerKind, Sig, SignalHandler
+from ..core.digest import block_digests
 from ..core.image import CheckpointImage
 
 __all__ = [
@@ -127,8 +126,15 @@ def user_arm_ops(task: Task) -> Generator:
     task.annotations.setdefault("shadow_dirty", set()).clear()
 
 
-def _block_digest(data: np.ndarray) -> int:
-    return zlib.adler32(data.tobytes()) & 0xFFFFFFFF
+def _changed_runs(changed: np.ndarray) -> List[Tuple[int, int]]:
+    """Coalesce a boolean block mask into (first_block, nblocks) runs."""
+    idx = np.flatnonzero(changed)
+    if idx.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [idx.size - 1]))
+    return [(int(idx[s]), int(idx[e] - idx[s] + 1)) for s, e in zip(starts, ends)]
 
 
 class BlockHashTracker:
@@ -160,13 +166,18 @@ class BlockHashTracker:
         self.block_size = block_size
         self.collision_bits = collision_bits
         self.simulate_collisions = simulate_collisions
-        #: (vma, page, block) -> digest from the previous interval.
-        self._digests: Dict[Tuple[str, int, int], int] = {}
+        #: (vma, page) -> uint64 digest-per-block array from the previous
+        #: interval.  Bounded by pages ever scanned, not blocks, and one
+        #: dict probe per *page* instead of one per block.
+        self._digests: Dict[Tuple[str, int], np.ndarray] = {}
         self.blocks_scanned = 0
         self.blocks_saved = 0
         #: Changed blocks silently dropped by digest collisions (only
         #: counted when ``simulate_collisions``; needs ground truth).
         self.misses = 0
+        #: (vma, page) -> blocks saved in the most recent scan (density
+        #: evidence for :class:`AdaptiveBlockTracker`).
+        self.last_scan_saved: Dict[Tuple[str, int], int] = {}
 
     def scan_ops(
         self,
@@ -178,7 +189,11 @@ class BlockHashTracker:
         """Hash candidate pages; append changed blocks to ``image``.
 
         Charges hash bandwidth for every byte scanned (the scheme's
-        cost), and memcpy for every block actually saved.
+        cost), and memcpy for every block actually saved.  All candidate
+        pages are digested in one vectorized NumPy pass when the
+        generator starts (the capturing context holds the target still,
+        so the batch sees the same bytes a per-page walk would);
+        adjacent changed blocks coalesce into one chunk per run.
         """
         bs = self.block_size
         page_size = kernel.costs.page_size
@@ -188,39 +203,49 @@ class BlockHashTracker:
         #: Per-block bookkeeping (digest-table lookup/update) -- the part
         #: of the scan cost that *grows* as blocks shrink.
         PER_BLOCK_NS = 60
-        def truncate(full: int) -> int:
-            if not self.simulate_collisions:
-                return full
-            # Mix before truncating: adler32's low bits are just the
-            # byte sum, which degenerates on structured data.
-            mixed = (full * 0x9E3779B1) & 0xFFFFFFFF
-            return mixed >> (32 - self.collision_bits)
-        for vma_name, pidx in pages:
-            vma = target.mm.vma(vma_name)
-            data = vma.read_page(pidx)
+        self.last_scan_saved = {}
+        if not pages:
+            return
+        # ---- bulk phase: one digest pass over every candidate page ----
+        data = np.empty((len(pages), page_size), dtype=np.uint8)
+        for i, (vma_name, pidx) in enumerate(pages):
+            arr = target.mm.vma(vma_name).pages.get(pidx)
+            if arr is None:
+                data[i] = 0
+            else:
+                data[i] = arr
+        digests = block_digests(data, bs).reshape(len(pages), per_page)
+        shift = np.uint64(64 - self.collision_bits)
+        # ---- per-page phase: compare, save runs, charge costs ----
+        for i, (vma_name, pidx) in enumerate(pages):
             yield ops.Compute(
                 ns=kernel.costs.hash_ns(page_size) + PER_BLOCK_NS * per_page
             )
-            saved_ns = 0
-            for b in range(per_page):
-                block = data[b * bs : (b + 1) * bs]
-                full_digest = _block_digest(block)
-                digest = truncate(full_digest)
-                key = (vma_name, pidx, b)
-                self.blocks_scanned += 1
-                prev = self._digests.get(key)
-                if prev is None or prev[0] != digest:
-                    self._digests[key] = (digest, full_digest)
-                    image.add_block(vma_name, pidx, b * bs, block)
-                    self.blocks_saved += 1
-                    saved_ns += kernel.costs.memcpy_ns(bs)
-                elif self.simulate_collisions and prev[1] != full_digest:
-                    # Truncated digests matched but the content changed:
-                    # the scheme silently skips a dirty block.
-                    self.misses += 1
-                    self._digests[key] = (digest, full_digest)
-            if saved_ns:
-                yield ops.Compute(ns=saved_ns)
+            self.blocks_scanned += per_page
+            cur = digests[i]
+            key = (vma_name, pidx)
+            prev = self._digests.get(key)
+            if prev is None:
+                changed = np.ones(per_page, dtype=bool)
+            elif self.simulate_collisions:
+                # The detector truly compares only ``collision_bits`` of
+                # the digest; blocks whose truncated digests collide are
+                # silently skipped even though the content changed.
+                changed = (prev >> shift) != (cur >> shift)
+                self.misses += int(np.count_nonzero(~changed & (prev != cur)))
+            else:
+                changed = prev != cur
+            self._digests[key] = cur
+            nchanged = int(np.count_nonzero(changed))
+            self.last_scan_saved[key] = nchanged
+            if not nchanged:
+                continue
+            self.blocks_saved += nchanged
+            for first, nblocks in _changed_runs(changed):
+                image.add_block(
+                    vma_name, pidx, first * bs, data[i, first * bs : (first + nblocks) * bs]
+                )
+            yield ops.Compute(ns=kernel.costs.memcpy_ns(bs) * nchanged)
 
     def miss_probability(self, changed_blocks: int) -> float:
         """Upper bound on missing >=1 changed block (the scheme's risk)."""
@@ -264,9 +289,16 @@ class AdaptiveBlockTracker:
         image: CheckpointImage,
         pages: Sequence[Tuple[str, int]],
     ) -> Generator:
-        """Save dense pages whole; block-hash sparse pages."""
+        """Save dense pages whole; block-hash sparse pages.
+
+        Dense pages are saved as they are visited; all sparse pages are
+        handed to the block scanner in a single batch so the whole
+        sparse set gets one vectorized digest pass (the seed version
+        spun up a scratch :class:`CheckpointImage` per sparse page).
+        """
         page_size = kernel.costs.page_size
         per_page = page_size // self.block_size
+        sparse: List[Tuple[str, int]] = []
         for vma_name, pidx in pages:
             key = (vma_name, pidx)
             density = self._density.get(key, 0.0)
@@ -276,23 +308,20 @@ class AdaptiveBlockTracker:
                 self.pages_saved_whole += 1
                 # Whole page assumed changed; refresh digests lazily by
                 # dropping them (they will be rebuilt on the next scan).
-                for b in range(per_page):
-                    self._hash._digests.pop((vma_name, pidx, b), None)
+                self._hash._digests.pop(key, None)
                 yield ops.Compute(ns=kernel.costs.memcpy_ns(page_size))
                 self._density[key] = density * self.decay + (1 - self.decay)
             else:
-                before = self._hash.blocks_saved
-                sub = CheckpointImage(
-                    key="scratch", mechanism="", pid=0, task_name="",
-                    node_id=0, step=0, registers={},
-                )
-                for op in self._hash.scan_ops(kernel, target, sub, [(vma_name, pidx)]):
-                    yield op
-                image.chunks.extend(sub.chunks)
-                changed = self._hash.blocks_saved - before
-                frac = changed / per_page
-                self.pages_block_scanned += 1
-                if key in self._seen:
-                    self._density[key] = density * self.decay + frac * (1 - self.decay)
-                else:
-                    self._seen.add(key)
+                sparse.append(key)
+        if not sparse:
+            return
+        for op in self._hash.scan_ops(kernel, target, image, sparse):
+            yield op
+        for key in sparse:
+            frac = self._hash.last_scan_saved.get(key, 0) / per_page
+            self.pages_block_scanned += 1
+            if key in self._seen:
+                density = self._density.get(key, 0.0)
+                self._density[key] = density * self.decay + frac * (1 - self.decay)
+            else:
+                self._seen.add(key)

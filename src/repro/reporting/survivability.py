@@ -19,6 +19,7 @@ def render_replication_table(
     store,
     repairer=None,
     title: Optional[str] = None,
+    content_store=None,
 ) -> str:
     """Render the replication state of a :class:`ReplicatedStore`.
 
@@ -29,6 +30,9 @@ def render_replication_table(
     repairer:
         Optional :class:`repro.stablestore.ReplicationRepairer` whose
         repair counters are appended.
+    content_store:
+        Optional :class:`repro.stablestore.ContentStore` fronting the
+        service; appends the dedup_ratio summary line.
     """
     rows = []
     for server in store.storage.servers:
@@ -66,5 +70,11 @@ def render_replication_table(
         summary.append(
             f"repairs={repairer.repairs_completed}"
             f" re-replicated={fmt_bytes(repairer.bytes_rereplicated)}"
+        )
+    if content_store is not None:
+        summary.append(
+            f"dedup_ratio={content_store.dedup_ratio:.2f}x"
+            f" logical={fmt_bytes(content_store.logical_payload_bytes)}"
+            f" unique={fmt_bytes(content_store.unique_payload_bytes)}"
         )
     return text + "\n" + "\n".join(summary)

@@ -32,9 +32,13 @@ class Event:
     fn: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Owning engine, so cancellation can keep the live count exact.
+    _engine: Optional["Engine"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it is popped."""
+        if not self.cancelled and self._engine is not None:
+            self._engine._live -= 1
         self.cancelled = True
 
 
@@ -65,6 +69,9 @@ class Engine:
     def __init__(self, seed: int = 0, trace: bool = False) -> None:
         self._now_ns: int = 0
         self._heap: List[Event] = []
+        #: Not-yet-cancelled events in the heap, maintained on
+        #: push/cancel/pop so :meth:`pending` is O(1).
+        self._live: int = 0
         self._seq = itertools.count()
         self.rng: np.random.Generator = np.random.default_rng(seed)
         self._trace_enabled = trace
@@ -95,8 +102,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event in the past: {time_ns} < {self._now_ns}"
             )
-        ev = Event(int(time_ns), next(self._seq), fn, label)
+        ev = Event(int(time_ns), next(self._seq), fn, label, _engine=self)
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def after(self, delay_ns: int, fn: Callable[[], None], label: str = "") -> Event:
@@ -121,8 +129,8 @@ class Engine:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the heap."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events in the heap (O(1))."""
+        return self._live
 
     def run(
         self,
@@ -162,6 +170,7 @@ class Engine:
                 self._now_ns = max(self._now_ns, int(until_ns))
                 break
             heapq.heappop(self._heap)
+            self._live -= 1
             self._now_ns = ev.time_ns
             ev.fn()
             processed += 1

@@ -21,7 +21,8 @@ just accounted for.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from bisect import bisect_right
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -229,6 +230,20 @@ class VMA:
             return np.zeros(self.page_size, dtype=np.uint8)
         return arr.copy()
 
+    def read_pages(self, pidx: int, npages: int) -> np.ndarray:
+        """Contiguous copy of ``npages`` pages starting at ``pidx``.
+
+        Absent pages read as zeros.  This is the extent-capture fast
+        path: one allocation and ``npages`` row copies instead of
+        ``npages`` separate page copies and Chunk objects.
+        """
+        out = np.zeros((npages, self.page_size), dtype=np.uint8)
+        for i in range(npages):
+            arr = self.pages.get(pidx + i)
+            if arr is not None:
+                out[i] = arr
+        return out.reshape(-1)
+
     def install_page(self, pidx: int, data: np.ndarray, dirty: bool = False) -> None:
         """Install page contents (used by restart)."""
         if data.shape != (self.page_size,):
@@ -265,9 +280,26 @@ class AddressSpace:
         self.page_size = costs.page_size
         self.vmas: List[VMA] = []
         self._by_name: Dict[str, VMA] = {}
+        #: VMA start addresses kept sorted (parallel to ``_sorted``) so
+        #: :meth:`find_vma` is a bisect instead of a linear scan.
+        self._starts: List[int] = []
+        self._sorted: List[VMA] = []
         self._next_addr = self.BASE_ADDR
         #: Monotone generation, bumped on fork for diagnostics.
         self.generation = 0
+
+    def _attach(self, vma: VMA) -> None:
+        self.vmas.append(vma)
+        self._by_name[vma.name] = vma
+        i = bisect_right(self._starts, vma.start)
+        self._starts.insert(i, vma.start)
+        self._sorted.insert(i, vma)
+
+    def _detach(self, vma: VMA) -> None:
+        self.vmas.remove(vma)
+        i = self._sorted.index(vma)
+        del self._sorted[i]
+        del self._starts[i]
 
     # ------------------------------------------------------------------
     def map(
@@ -297,8 +329,7 @@ class AddressSpace:
         )
         # Leave a guard gap so resizes never collide.
         self._next_addr = vma.end + 64 * self.page_size
-        self.vmas.append(vma)
-        self._by_name[name] = vma
+        self._attach(vma)
         return vma
 
     def unmap(self, name: str) -> VMA:
@@ -306,7 +337,7 @@ class AddressSpace:
         vma = self._by_name.pop(name, None)
         if vma is None:
             raise MemoryError_(f"no VMA named {name!r}")
-        self.vmas.remove(vma)
+        self._detach(vma)
         return vma
 
     def vma(self, name: str) -> VMA:
@@ -321,8 +352,10 @@ class AddressSpace:
         return name in self._by_name
 
     def find_vma(self, addr: int) -> VMA:
-        """Find the VMA containing ``addr``."""
-        for vma in self.vmas:
+        """Find the VMA containing ``addr`` (bisect on sorted starts)."""
+        i = bisect_right(self._starts, addr) - 1
+        if i >= 0:
+            vma = self._sorted[i]
             if vma.contains(addr):
                 return vma
         raise MemoryError_(f"address {addr:#x} is unmapped")
@@ -483,8 +516,7 @@ class AddressSpace:
                 present = (vma.flags & PageFlag.PRESENT) != 0
                 vma.flags[present] |= PageFlag.COW
                 cv.flags[present] |= PageFlag.COW
-            child.vmas.append(cv)
-            child._by_name[cv.name] = cv
+            child._attach(cv)
         return child
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

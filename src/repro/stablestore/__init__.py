@@ -21,8 +21,11 @@ quorum-replicated client.
   under-replicated blobs after a storage-server failure.
 * :class:`GenerationGC` -- garbage collection of superseded checkpoint
   generations (delta chains are walked and protected).
+* :class:`ContentStore` -- content-addressed dedup wrapper: each unique
+  page payload costs one quorum write ever, not one per generation.
 """
 
+from .contentstore import ContentStore, ImageManifest
 from .gc import GenerationGC
 from .repair import ReplicationRepairer
 from .replicated import ReplicatedStore
@@ -35,4 +38,6 @@ __all__ = [
     "ReplicatedStore",
     "ReplicationRepairer",
     "GenerationGC",
+    "ContentStore",
+    "ImageManifest",
 ]

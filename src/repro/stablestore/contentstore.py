@@ -1,0 +1,240 @@
+"""Content-addressed deduplication in front of the replicated service.
+
+Checkpoint streams are massively redundant: every generation of a
+full-image mechanism rewrites mostly-identical pages, zero pages recur
+across every process, and "dirty" pages often carry the same bytes they
+carried last interval (a write of the same value still faults the
+tracker).  The scalable C/R literature after the paper deduplicates this
+redundancy at the storage tier; :class:`ContentStore` does the same for
+the simulated service.
+
+The design is manifest + pack:
+
+* Every per-page payload of an image is fingerprinted with
+  :func:`~repro.core.digest.payload_digest` (keyed by digest *and*
+  length).  Payloads never seen before are batched -- all of one image's
+  new payloads together -- into a single *pack* blob stored under
+  ``<image key>.pack``, so dedup does not multiply quorum round-trips.
+* The image itself is stored as an :class:`ImageManifest`: the metadata
+  of the original :class:`~repro.core.image.CheckpointImage` (chunks
+  stripped) plus an ordered list of :class:`ChunkRef` content references.
+  Loading a manifest reassembles a byte-exact image from the packs it
+  references.
+* The store refcounts content keys across manifests.  Deleting a
+  manifest (e.g. :class:`~repro.stablestore.GenerationGC` dropping a
+  superseded generation) decrements them; a pack is deleted only when no
+  surviving manifest references any payload homed in it.  Pack keys end
+  in ``.pack`` and therefore never parse as generations, so the GC can
+  only ever reach them through this refcounting path.
+
+The wrapper is transparent: non-image blobs pass straight through, and
+``keys()`` lists manifests only, so generation GC, chain walks and the
+coordinator see exactly the key space they saw without dedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.digest import payload_digest
+from ..core.image import CheckpointImage, Chunk
+from ..storage.backends import StorageBackend
+
+__all__ = ["ChunkRef", "ImageManifest", "ContentStore"]
+
+#: Accounted bytes per content reference in a manifest (vma id, page,
+#: offset, length, 64-bit digest).
+REF_RECORD_BYTES = 32
+
+
+@dataclass
+class ChunkRef:
+    """One per-page content reference inside a manifest."""
+
+    vma: str
+    page_index: int
+    offset: int
+    nbytes: int
+    ckey: str
+
+
+@dataclass
+class ImageManifest:
+    """A checkpoint image with its payload replaced by content refs."""
+
+    key: str
+    meta: CheckpointImage  # chunks stripped; metadata/registers/vmas/fds intact
+    refs: List[ChunkRef]
+    pack_key: Optional[str]
+
+    @property
+    def parent_key(self) -> Optional[str]:
+        """Delta-chain parent (GC and availability walks read this)."""
+        return self.meta.parent_key
+
+
+class ContentStore(StorageBackend):
+    """Content-addressed dedup wrapper around another backend.
+
+    Parameters
+    ----------
+    inner:
+        The backend that actually holds blobs -- typically a
+        :class:`~repro.stablestore.ReplicatedStore`, so each unique
+        payload costs one quorum write ever, not one per generation.
+    """
+
+    def __init__(self, inner: StorageBackend) -> None:
+        super().__init__(device=inner.device)
+        self.inner = inner
+        self.kind = inner.kind
+        self.survives_node_failure = inner.survives_node_failure
+        #: content key -> number of references across live manifests.
+        self._refs: Dict[str, int] = {}
+        #: content key -> pack blob that holds its payload.
+        self._home: Dict[str, str] = {}
+        #: pack key -> content keys packed in it.
+        self._pack_members: Dict[str, List[str]] = {}
+        #: pack key -> distinct referenced content keys still alive.
+        self._pack_live: Dict[str, int] = {}
+        #: manifest key -> the content keys it references (for delete).
+        self._manifest_refs: Dict[str, List[str]] = {}
+        # Dedup statistics (the E20 evidence).
+        self.logical_payload_bytes = 0
+        self.unique_payload_bytes = 0
+        self.images_stored = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical payload bytes per unique payload byte written."""
+        if self.unique_payload_bytes == 0:
+            return 1.0
+        return self.logical_payload_bytes / self.unique_payload_bytes
+
+    # ------------------------------------------------------------------
+    # StorageBackend protocol
+    # ------------------------------------------------------------------
+    def store(self, key: str, obj: Any, nbytes: int, now_ns: int) -> int:
+        if not isinstance(obj, CheckpointImage):
+            return self.inner.store(key, obj, nbytes, now_ns)
+        if key in self._manifest_refs:
+            # Overwrite of an existing generation: release the old refs
+            # first so refcounts stay exact.
+            self.delete(key)
+        refs: List[ChunkRef] = []
+        pack: Dict[str, np.ndarray] = {}
+        logical = 0
+        for chunk in obj.chunks:
+            for c in chunk.split_pages():
+                payload = np.ascontiguousarray(c.data)
+                ckey = f"{payload_digest(payload):016x}-{payload.size}"
+                refs.append(
+                    ChunkRef(c.vma, c.page_index, c.offset, int(payload.size), ckey)
+                )
+                logical += int(payload.size)
+                if ckey not in self._home and ckey not in pack:
+                    pack[ckey] = np.array(payload, copy=True)
+        delay = 0
+        pack_key: Optional[str] = None
+        if pack:
+            pack_key = f"{key}.pack"
+            pack_bytes = int(sum(a.size for a in pack.values()))
+            delay += self.inner.store(pack_key, pack, pack_bytes, now_ns)
+            self.unique_payload_bytes += pack_bytes
+        meta = replace(obj, chunks=[])
+        manifest = ImageManifest(key=key, meta=meta, refs=refs, pack_key=pack_key)
+        manifest_bytes = meta.size_bytes + REF_RECORD_BYTES * len(refs)
+        delay += self.inner.store(key, manifest, manifest_bytes, now_ns + delay)
+        # Commit client-side bookkeeping only after both writes landed.
+        if pack_key is not None:
+            self._pack_members[pack_key] = list(pack)
+            self._pack_live.setdefault(pack_key, 0)
+            for ckey in pack:
+                self._home[ckey] = pack_key
+        for r in refs:
+            n = self._refs.get(r.ckey, 0)
+            if n == 0:
+                self._pack_live[self._home[r.ckey]] += 1
+            self._refs[r.ckey] = n + 1
+        self._manifest_refs[key] = [r.ckey for r in refs]
+        self.logical_payload_bytes += logical
+        self.images_stored += 1
+        return delay
+
+    def load(self, key: str, now_ns: int) -> Tuple[Any, int]:
+        obj, delay = self.inner.load(key, now_ns)
+        if not isinstance(obj, ImageManifest):
+            return obj, delay
+        needed = sorted({self._home[r.ckey] for r in obj.refs})
+        payloads: Dict[str, np.ndarray] = {}
+        for pk in needed:
+            pack, d = self.inner.load(pk, now_ns + delay)
+            delay += d
+            payloads.update(pack)
+        chunks = [
+            Chunk(vma=r.vma, page_index=r.page_index, offset=r.offset, data=payloads[r.ckey])
+            for r in obj.refs
+        ]
+        return replace(obj.meta, chunks=chunks), delay
+
+    def exists(self, key: str) -> bool:
+        """Whether the manifest *and* every pack it references are readable."""
+        if not self.inner.exists(key):
+            return False
+        ckeys = self._manifest_refs.get(key)
+        if ckeys is None:
+            return True
+        homes = {self._home[ck] for ck in ckeys if ck in self._home}
+        return all(self.inner.exists(pk) for pk in homes)
+
+    def peek(self, key: str) -> Any:
+        """Return the manifest (carries ``parent_key`` for chain walks)."""
+        return self.inner.peek(key)
+
+    def blob_size(self, key: str) -> int:
+        """Accounted size of a stored blob (manifest size for images)."""
+        return self.inner.blob_size(key)
+
+    def delete(self, key: str) -> None:
+        """Drop a manifest; packs follow when their last reference dies."""
+        ckeys = self._manifest_refs.pop(key, None)
+        self.inner.delete(key)
+        if ckeys is None:
+            return
+        for ckey in ckeys:
+            n = self._refs.get(ckey, 0)
+            if n > 1:
+                self._refs[ckey] = n - 1
+                continue
+            self._refs.pop(ckey, None)
+            home = self._home.get(ckey)
+            if home is None:
+                continue
+            self._pack_live[home] -= 1
+            if self._pack_live[home] <= 0:
+                for member in self._pack_members.pop(home, []):
+                    self._home.pop(member, None)
+                    self._refs.pop(member, None)
+                self._pack_live.pop(home, None)
+                self.inner.delete(home)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate manifest / passthrough keys (packs stay internal)."""
+        return (k for k in self.inner.keys() if not k.endswith(".pack"))
+
+    def stored_bytes(self) -> int:
+        """Bytes held by the inner backend (manifests + packs)."""
+        return self.inner.stored_bytes()
+
+    def _check_available(self) -> None:
+        self.inner._check_available()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ContentStore images={self.images_stored} "
+            f"dedup={self.dedup_ratio:.2f}x over {self.inner!r}>"
+        )

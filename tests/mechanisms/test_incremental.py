@@ -94,9 +94,12 @@ class TestBlockHash:
         k.run_until_exit(t, limit_ns=10**10)
         img1 = scratch_image()
         run2 = Kernel(seed=2)
-        # First scan: everything is new -> 8 blocks saved.
+        # First scan: everything is new -> 8 blocks saved, coalesced
+        # into one contiguous run covering the page.
         consumed = list(tracker.scan_ops(k, t, img1, [("heap", 0)]))
-        assert len(img1.chunks) == 8
+        assert tracker.blocks_saved == 8
+        assert len(img1.chunks) == 1
+        assert img1.chunks[0].nbytes == 4096
         # Change 100 bytes inside one block; rescan saves only that block.
         t.mm.fill_pattern(t.mm.vma("heap"), 0, 600, 100, seed=99)
         img2 = scratch_image()
