@@ -30,6 +30,18 @@ def report(name: str, text: str) -> str:
     return text
 
 
+def report_json(name: str, doc) -> str:
+    """Persist a schema-validated ``repro.obs`` export next to the text
+    tables; returns the canonical JSON written."""
+    from repro.obs import to_json, validate_export
+
+    validate_export(doc)
+    text = to_json(doc)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(text + "\n")
+    return text
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Run ``fn`` exactly once under pytest-benchmark and return its result."""

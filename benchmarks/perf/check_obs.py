@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""CI smoke check for the observability subsystem.
+
+Runs a small instrumented scenario (periodic in-kernel checkpoints,
+one restart) twice with the same seed and asserts, with plain numpy +
+stdlib only:
+
+* the ``repro.obs`` export schema-validates and JSON round-trips to the
+  same canonical bytes;
+* two same-seed runs export byte-identical documents (the determinism
+  contract every experiment relies on);
+* the export covers at least the headline metric count the design
+  promises;
+* ``Engine.pending()`` is never negative -- the live-event count stays
+  exact under the checkpoint machinery's scheduling and cancellation.
+
+Exits non-zero with a diagnostic on any violation.
+
+Usage::
+
+    python benchmarks/perf/check_obs.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.direction import AutonomicCheckpointer  # noqa: E402
+from repro.obs import export_obs, to_json, validate_export  # noqa: E402
+from repro.simkernel import Kernel  # noqa: E402
+from repro.simkernel.costs import NS_PER_MS  # noqa: E402
+from repro.storage import RemoteStorage  # noqa: E402
+from repro.workloads import SparseWriter  # noqa: E402
+
+MIN_METRICS = 8
+
+
+def run_scenario() -> str:
+    """One instrumented run; returns the canonical obs JSON export."""
+    k = Kernel(ncpus=2, seed=23)
+    mech = AutonomicCheckpointer(k, RemoteStorage())
+    wl = SparseWriter(
+        iterations=20_000, dirty_fraction=0.03, heap_bytes=256 * 1024, seed=5
+    )
+    task = wl.spawn(k)
+    mech.enable_automatic(task, 20 * NS_PER_MS)
+    k.run_for(150 * NS_PER_MS)
+
+    pending = k.engine.pending()
+    if pending < 0:
+        raise SystemExit(f"FAIL: Engine.pending() went negative ({pending})")
+
+    done = mech.completed_requests()
+    if not done:
+        raise SystemExit("FAIL: scenario produced no completed checkpoints")
+    mech.restart(done[-1].key)
+
+    doc = export_obs(
+        k.engine.metrics,
+        tracer=k.engine.tracer,
+        meta={"check": "obs-smoke"},
+        now_ns=k.engine.now_ns,
+    )
+    return to_json(doc)
+
+
+def main() -> int:
+    """Run the smoke checks; returns the process exit code."""
+    text_a = run_scenario()
+    text_b = run_scenario()
+
+    if text_a != text_b:
+        print("FAIL: same-seed runs exported different documents")
+        return 1
+
+    doc = json.loads(text_a)
+    validate_export(doc)  # raises ObservabilityError on violations
+    if to_json(doc) != text_a:
+        print("FAIL: export does not JSON round-trip to identical bytes")
+        return 1
+
+    m = doc["metrics"]
+    n_metrics = len(m["counters"]) + len(m["gauges"]) + len(m["histograms"])
+    if n_metrics < MIN_METRICS:
+        print(f"FAIL: only {n_metrics} metrics exported, need >= {MIN_METRICS}")
+        return 1
+    for required in ("checkpoint.stall_ns", "restart.total_ns"):
+        if required not in m["histograms"]:
+            print(f"FAIL: required histogram {required!r} missing from export")
+            return 1
+    if not doc["spans"]:
+        print("FAIL: no spans exported")
+        return 1
+
+    print(
+        f"OK: {n_metrics} metrics, {len(doc['spans'])} spans, "
+        f"byte-identical across same-seed runs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,11 +26,12 @@ from __future__ import annotations
 from repro.cluster import CheckpointCoordinator, Cluster, ParallelJob
 from repro.core.autonomic import AutonomicIntervalController, FailureRateEstimator
 from repro.core.direction import AutonomicCheckpointer
-from repro.reporting import render_replication_table, render_table
+from repro.obs import export_obs
+from repro.reporting import render_replication_table, render_table, render_timeline
 from repro.simkernel.costs import NS_PER_MS, NS_PER_S
 from repro.workloads import SparseWriter
 
-from conftest import report
+from conftest import report, report_json
 
 INTERVAL_NS = 25 * NS_PER_MS
 
@@ -76,6 +77,13 @@ def run_cell(rf, storage_failures, repair=True):
     cl.engine.after(220 * NS_PER_MS, lambda: cl.fail_node(0))
     done = job.run_to_completion(limit_ns=120 * NS_PER_S)
     return {
+        "timeline": render_timeline(cl.engine),
+        "obs": export_obs(
+            cl.engine.metrics,
+            tracer=cl.engine.tracer,
+            meta={"experiment": "e19", "rf": rf, "storage_failures": storage_failures},
+            now_ns=cl.engine.now_ns,
+        ),
         "store": store,
         "repairer": cl.storage_repairer,
         "completed": done,
@@ -158,7 +166,14 @@ def test_e19_replicated_storage(run_once):
         [(n, f"{iv:.1f}") for n, iv in sorted(out["intervals"].items())],
         title="Autonomic interval vs. storage-link contention (4 MiB commits)",
     )
+    showcase = cells["rf=2, 2 failures, repair"]
+    text += (
+        "\n\nFailure/checkpoint/restart timeline (rf=2, 2 failures, repair):\n"
+        + showcase["timeline"]
+    )
     report("e19_replicated_storage", text)
+    # The same run's structured observability export (schema-validated).
+    report_json("e19_replicated_storage", showcase["obs"])
 
     # Failure-free baselines complete, nothing lost, no fallbacks.
     for label in ("rf=1, no storage failure", "rf=2, no storage failure"):

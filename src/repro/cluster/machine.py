@@ -75,11 +75,14 @@ class ClusterNode:
         self.failed_at_ns = self.engine.now_ns
         self.failures += 1
         self.kernel.halt()
+        killed = 0
         for task in list(self.kernel.tasks.values()):
             if task.alive():
                 task.state = TaskState.DEAD
                 task.exit_code = -1
+                killed += 1
         self.local_storage.mark_node_failed()
+        self.engine.tracer.instant("node.fail", node=self.node_id, tasks_killed=killed)
 
     def repair(self, disk_survived: bool = True) -> None:
         """Reboot the node with a fresh kernel (old processes are gone)."""
@@ -89,6 +92,10 @@ class ClusterNode:
         )
         self.local_storage.mark_node_recovered(data_survived=disk_survived)
         self.failed_at_ns = None
+        self.engine.count("node_repairs")
+        self.engine.tracer.instant(
+            "node.repair", node=self.node_id, disk_survived=disk_survived
+        )
 
     @property
     def up(self) -> bool:
@@ -165,7 +172,9 @@ class Cluster:
             )
             self.remote_storage: StorageBackend = self.replicated_store
             if content_dedup:
-                self.content_store = ContentStore(self.replicated_store)
+                self.content_store = ContentStore(
+                    self.replicated_store, metrics=self.engine.metrics
+                )
                 self.remote_storage = self.content_store
             if storage_repair:
                 self.storage_repairer = ReplicationRepairer(

@@ -19,10 +19,11 @@ system or *safe* pre-emption by another process".  Built here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..analysis.interval import daly_interval_s
 from ..errors import CheckpointError
+from ..obs import MetricsRegistry
 from ..simkernel import Task
 from ..simkernel.costs import NS_PER_S
 from .checkpointer import Checkpointer, CheckpointRequest, RequestState
@@ -38,25 +39,48 @@ class FailureRateEstimator:
     failure.  ``alpha`` is the weight of the newest observation.
     """
 
-    def __init__(self, prior_mtbf_s: float, alpha: float = 0.3) -> None:
+    def __init__(
+        self,
+        prior_mtbf_s: float,
+        alpha: float = 0.3,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if prior_mtbf_s <= 0:
             raise CheckpointError("prior MTBF must be positive")
         if not 0.0 < alpha <= 1.0:
             raise CheckpointError("alpha must be in (0, 1]")
         self.alpha = alpha
+        self.metrics = metrics
         self._estimate_s = prior_mtbf_s
         self._last_failure_ns: Optional[int] = None
         self.observations = 0
+        #: Observations discarded for arriving at or before the previous
+        #: failure time (out-of-order delivery, duplicate reports).
+        self.out_of_order = 0
 
     def observe_failure(self, time_ns: int) -> None:
-        """Record a failure at virtual time ``time_ns``."""
+        """Record a failure at virtual time ``time_ns``.
+
+        Observations must be strictly monotonic in time: an out-of-order
+        or duplicate report is *ignored* (and counted) rather than
+        clamped to a 1 ns gap -- clamping would fold a near-zero
+        inter-arrival sample into the EWMA and collapse the MTBF
+        estimate, which then drives the Daly interval to its floor.
+        """
+        if self._last_failure_ns is not None and time_ns <= self._last_failure_ns:
+            self.out_of_order += 1
+            if self.metrics is not None:
+                self.metrics.inc("autonomic.out_of_order_failures")
+            return
         if self._last_failure_ns is not None:
-            gap_s = max(1e-9, (time_ns - self._last_failure_ns) / NS_PER_S)
+            gap_s = (time_ns - self._last_failure_ns) / NS_PER_S
             self._estimate_s = (
                 self.alpha * gap_s + (1.0 - self.alpha) * self._estimate_s
             )
         self._last_failure_ns = time_ns
         self.observations += 1
+        if self.metrics is not None:
+            self.metrics.inc("autonomic.failures_observed")
 
     @property
     def mtbf_s(self) -> float:
@@ -85,8 +109,10 @@ class AutonomicIntervalController:
         cost_alpha: float = 0.3,
         storage_alpha: float = 0.3,
         storage_weight: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.estimator = estimator
+        self.metrics = metrics
         self.min_interval_s = min_interval_s
         self.max_interval_s = max_interval_s
         self.cost_alpha = cost_alpha
@@ -169,6 +195,9 @@ class AutonomicIntervalController:
         iv = self.recommended_interval_ns()
         coordinator.interval_ns = iv
         self.retunes += 1
+        if self.metrics is not None:
+            self.metrics.inc("autonomic.retunes")
+            self.metrics.set_gauge("autonomic.interval_ns", iv)
         return iv
 
 
@@ -182,27 +211,69 @@ class SafePreemption:
     node was reclaimed entirely).
     """
 
-    def __init__(self, mechanism: Checkpointer) -> None:
+    #: How often the parking watcher re-checks the request.
+    poll_interval_ns: int = 1_000_000
+    #: How long a preemption may stay in flight before parking is
+    #: abandoned.  Bounds the watcher: without it, a request stuck in
+    #: PENDING/RUNNING (capture generator abandoned, storage hung)
+    #: rescheduled the 1 ms poll forever.
+    park_deadline_ns: int = 300 * NS_PER_S
+
+    def __init__(
+        self,
+        mechanism: Checkpointer,
+        poll_interval_ns: Optional[int] = None,
+        park_deadline_ns: Optional[int] = None,
+    ) -> None:
         self.mechanism = mechanism
         self.parked: dict = {}
+        #: pid -> reason for preemptions whose parking never happened.
+        self.park_failures: Dict[int, str] = {}
+        if poll_interval_ns is not None:
+            self.poll_interval_ns = int(poll_interval_ns)
+        if park_deadline_ns is not None:
+            self.park_deadline_ns = int(park_deadline_ns)
 
     def preempt(self, task: Task) -> CheckpointRequest:
-        """Checkpoint ``task`` and freeze it when the image is durable."""
+        """Checkpoint ``task`` and freeze it when the image is durable.
+
+        The parking watcher is *bounded*: it stops (and surfaces a
+        ``preempt.park_failed`` metric) when the request fails or when
+        :attr:`park_deadline_ns` of virtual time passes without the
+        image becoming durable, instead of polling forever.
+        """
         kernel = self.mechanism.kernel
+        engine = kernel.engine
         self.mechanism.prepare_target(task)
         req = self.mechanism.request_checkpoint(task)
+        engine.metrics.inc("preempt.requests")
+        deadline_ns = engine.now_ns + self.park_deadline_ns
+
+        def give_up(reason: str) -> None:
+            self.park_failures[task.pid] = reason
+            engine.metrics.inc("preempt.park_failed")
+            engine.tracer.instant(
+                "preempt.park_failed", pid=task.pid, key=req.key, reason=reason
+            )
 
         def park_when_done() -> None:
             if req.state == RequestState.DONE:
                 if task.alive():
                     kernel.stop_task(task)
                 self.parked[task.pid] = req.key
+                self.park_failures.pop(task.pid, None)
+                engine.metrics.inc("preempt.parked")
             elif req.state == RequestState.FAILED:
-                pass  # nothing durable; leave the task running
+                give_up("checkpoint failed; nothing durable, task left running")
+            elif engine.now_ns >= deadline_ns:
+                give_up(
+                    f"checkpoint still {req.state.value} after "
+                    f"{self.park_deadline_ns} ns; abandoning park"
+                )
             else:
-                kernel.engine.after(1_000_000, park_when_done)
+                engine.after(self.poll_interval_ns, park_when_done, label="park-poll")
 
-        kernel.engine.after(1_000_000, park_when_done)
+        engine.after(self.poll_interval_ns, park_when_done, label="park-poll")
         return req
 
     def resume_in_place(self, task: Task) -> None:

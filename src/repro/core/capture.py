@@ -223,6 +223,10 @@ def copy_pages(
     per_page_ns = kernel.costs.memcpy_ns(page_size)
     if user_mode:
         per_page_ns += kernel.costs.syscall_ns(0)  # write() per page buffer
+    if pages:
+        metrics = kernel.engine.metrics
+        metrics.inc("capture.pages", len(pages))
+        metrics.inc("capture.bytes", len(pages) * page_size)
     for vma_name, start, npages in _extent_runs(pages):
         vma = target.mm.vma(vma_name)
         if npages == 1:
@@ -252,6 +256,9 @@ def store_image(
     """
     image.time_ns = kernel.engine.now_ns
     delay = storage.store(image.key, image, image.size_bytes, kernel.engine.now_ns)
+    metrics = kernel.engine.metrics
+    metrics.inc("storage.images_stored")
+    metrics.observe("storage.store_ns", delay)
     while delay > 0:
         slice_ns = min(delay, STORE_SLICE_NS)
         delay -= slice_ns
@@ -392,6 +399,7 @@ def restore_image(
             strict=strict_kernel_state,
         )
 
+    kernel.engine.metrics.inc("restart.chunks_installed", len(image.chunks))
     ready_at = kernel.engine.now_ns + io_delay_ns + install_ns
     kernel.engine.after(
         io_delay_ns + install_ns, lambda: kernel.resume_task(task), label="restore-resume"

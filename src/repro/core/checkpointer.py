@@ -17,7 +17,6 @@ image key for the experiments.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional
@@ -61,6 +60,9 @@ class CheckpointRequest:
     #: autonomic controller folds this into its interval retuning).
     storage_delay_ns: int = 0
     incremental: bool = False
+    #: Tracing span covering initiation -> completion (closed by
+    #: ``_complete``/``_fail``; stays open if the capture is abandoned).
+    span: Optional[Any] = field(default=None, repr=False)
 
     @property
     def initiation_latency_ns(self) -> Optional[int]:
@@ -109,8 +111,6 @@ class Checkpointer:
     #: True for mechanisms the paper surveys (Figure 1 / Table 1 members);
     #: False for designs this repository adds (the "direction forward").
     surveyed: bool = True
-
-    _key_counter = itertools.count(1)
 
     def __init__(self, kernel: Kernel, storage: StorageBackend) -> None:
         supported = self.features.stable_storage
@@ -166,7 +166,14 @@ class Checkpointer:
         raise NotImplementedError
 
     def _new_request(self, task: Task, incremental: bool = False) -> CheckpointRequest:
-        key = f"{self.mech_name}/{task.pid}/{next(self._key_counter)}"
+        # The generation counter is engine-scoped: unique across every
+        # mechanism instance sharing the clock (nodes allocate
+        # overlapping pids), yet reset with the engine so same-seed runs
+        # produce identical key sequences.
+        key = (
+            f"{self.mech_name}/{task.pid}/"
+            f"{self.kernel.engine.next_id('checkpoint.key')}"
+        )
         req = CheckpointRequest(
             key=key,
             target_pid=task.pid,
@@ -178,6 +185,15 @@ class Checkpointer:
             raise CheckpointError(
                 f"{self.mech_name} does not implement incremental checkpointing"
             )
+        engine = self.kernel.engine
+        engine.metrics.inc("checkpoint.requests")
+        req.span = engine.tracer.start_span(
+            "checkpoint",
+            mechanism=self.mech_name,
+            pid=task.pid,
+            key=key,
+            incremental=req.incremental,
+        )
         self.requests.append(req)
         return req
 
@@ -199,11 +215,22 @@ class Checkpointer:
         req.state = RequestState.DONE
         req.completed_ns = self.kernel.engine.now_ns
         self._last_key_for_pid[req.target_pid] = image.key
+        metrics = self.kernel.engine.metrics
+        metrics.inc("checkpoint.completed")
+        metrics.observe("checkpoint.stall_ns", req.target_stall_ns)
+        metrics.observe("checkpoint.capture_bytes", image.size_bytes)
+        if req.storage_delay_ns > 0:
+            metrics.observe("storage.commit_ns", req.storage_delay_ns)
+        if req.span is not None:
+            req.span.end(state="done", image_bytes=image.size_bytes)
 
     def _fail(self, req: CheckpointRequest, message: str) -> None:
         req.state = RequestState.FAILED
         req.error = message
         req.completed_ns = self.kernel.engine.now_ns
+        self.kernel.engine.metrics.inc("checkpoint.failed")
+        if req.span is not None:
+            req.span.end(state="failed", error=message)
 
     # ------------------------------------------------------------------
     # Restart
@@ -260,22 +287,42 @@ class Checkpointer:
         needs kernel-persistent state this mechanism cannot recreate.
         """
         kernel = target_kernel or self.kernel
-        chain, io_delay = self.image_chain(key, kernel)
-        image = (
-            chain[0]
-            if len(chain) == 1
-            else materialize_chain(chain, page_size=kernel.costs.page_size)
+        engine = kernel.engine
+        span = engine.tracer.start_span(
+            "restart", mechanism=self.mech_name, key=key, node=kernel.node_id
         )
-        return restore_image(
-            kernel,
-            image,
-            io_delay_ns=io_delay,
-            restore_pid=self.restores_pid,
-            virtualize=self.virtualizes_resources,
-            rescue_deleted_files=self.rescues_deleted_files,
-            strict_kernel_state=strict_kernel_state,
-            name_suffix=":r",
+        try:
+            chain, io_delay = self.image_chain(key, kernel)
+            image = (
+                chain[0]
+                if len(chain) == 1
+                else materialize_chain(chain, page_size=kernel.costs.page_size)
+            )
+            result = restore_image(
+                kernel,
+                image,
+                io_delay_ns=io_delay,
+                restore_pid=self.restores_pid,
+                virtualize=self.virtualizes_resources,
+                rescue_deleted_files=self.rescues_deleted_files,
+                strict_kernel_state=strict_kernel_state,
+                name_suffix=":r",
+            )
+        except Exception as exc:
+            engine.metrics.inc("restart.failed")
+            span.end(state="failed", error=str(exc))
+            raise
+        engine.metrics.inc("restart.count")
+        engine.metrics.observe(
+            "restart.total_ns", result.io_delay_ns + result.install_delay_ns
         )
+        span.end(
+            state="done",
+            pid=result.task.pid,
+            chain_len=len(chain),
+            ready_at_ns=result.ready_at_ns,
+        )
+        return result
 
     # ------------------------------------------------------------------
     def completed_requests(self) -> List[CheckpointRequest]:

@@ -23,6 +23,7 @@ __all__ = [
     "NodeFailedError",
     "RegistryError",
     "WorkloadError",
+    "ObservabilityError",
 ]
 
 
@@ -108,3 +109,7 @@ class RegistryError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload was misconfigured or misused."""
+
+
+class ObservabilityError(ReproError):
+    """Invalid metrics/tracing usage or a malformed obs export."""

@@ -67,6 +67,7 @@ class HardwareCheckpointer(Checkpointer):
         req = self._new_request(task, incremental=True)
         req.state = RequestState.RUNNING
         req.started_ns = self.kernel.engine.now_ns
+        self.kernel.engine.metrics.inc("capture.hw_epochs")
         image = self._new_image(req, task)
         from ...core.capture import snapshot_metadata
 
@@ -128,6 +129,9 @@ class HardwareCheckpointer(Checkpointer):
         workload = image.user_state.get("workload")
         if workload is not None:
             task.rebuild_program(workload.align_step(image.step))
+        engine = self.kernel.engine
+        engine.metrics.inc("restart.hw_rollbacks")
+        engine.tracer.instant("restart.rollback", key=key, pid=task.pid, bytes=rewritten)
         # Discard lines dirtied since the epoch (they were rolled back).
         self.tracker.drain_into(task, CheckpointImage(
             key="discard", mechanism="", pid=0, task_name="", node_id=0,

@@ -78,6 +78,7 @@ class SystemLevelCheckpointer(Checkpointer):
         def frame() -> Generator:
             req.state = RequestState.RUNNING
             req.started_ns = kernel.engine.now_ns
+            kernel.engine.metrics.inc("capture.frame_captures")
             image = self._new_image(req, task)
             snapshot_metadata(kernel, task, image)
             # Walking the task struct is nearly free in kernel mode.
@@ -131,6 +132,7 @@ class SystemLevelCheckpointer(Checkpointer):
             def gen():
                 req.state = RequestState.RUNNING
                 req.started_ns = kernel.engine.now_ns
+                kernel.engine.metrics.inc("capture.kthread_captures")
                 if defer_irqs:
                     kernel.disable_irqs_for(kt)
                 stopped_by_us = False
@@ -170,6 +172,15 @@ class SystemLevelCheckpointer(Checkpointer):
                 if stopped_by_us:
                     kernel.resume_task(target)
                     req.target_stall_ns = kernel.engine.now_ns - req.started_ns
+                    # The freeze window is the application-visible cost
+                    # of this capture shape; record it as its own span.
+                    kernel.engine.tracer.record(
+                        "checkpoint.freeze",
+                        req.started_ns,
+                        kernel.engine.now_ns,
+                        pid=target.pid,
+                        key=req.key,
+                    )
                 # Storage write happens after the app resumes (copy-out
                 # already isolated the data in the image buffers).
                 store_start_ns = kernel.engine.now_ns

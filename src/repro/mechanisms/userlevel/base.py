@@ -94,6 +94,7 @@ class UserLevelCheckpointer(Checkpointer):
         def handler():
             req.state = RequestState.RUNNING
             req.started_ns = self.kernel.engine.now_ns
+            self.kernel.engine.metrics.inc("capture.handler_captures")
             image = self._new_image(req, task)
             # Kernel-state extraction: one syscall per datum (E3).
             yield from self._forward(user_extract_metadata(self.kernel, task, image))

@@ -1,0 +1,144 @@
+"""Canonical JSON export of a run's metrics and span log.
+
+One document shape (``repro.obs/v1``) is shared by every consumer: the
+timeline renderer, the E-series experiment dumps, and the CI round-trip
+check.  :func:`to_json` is canonical (sorted keys, no whitespace), so
+"two same-seed runs export the same document" is testable as byte
+equality.
+
+Validation is hand-rolled -- the container deliberately carries no
+``jsonschema`` dependency -- but checks the same things a schema would:
+required keys, value types, bucket/count arity, span ordering and
+parent references.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+from ..errors import ObservabilityError
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = ["SCHEMA_VERSION", "export_obs", "to_json", "validate_export"]
+
+SCHEMA_VERSION = "repro.obs/v1"
+
+
+def export_obs(
+    metrics: MetricsRegistry,
+    tracer: Optional[Tracer] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+    now_ns: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build the export document (validated before it is returned)."""
+    doc: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "meta": {str(k): v for k, v in sorted((meta or {}).items())},
+        "virtual_time_ns": int(now_ns) if now_ns is not None else None,
+        "metrics": metrics.to_dict(),
+        "spans": tracer.export() if tracer is not None else [],
+        "spans_dropped": tracer.dropped if tracer is not None else 0,
+    }
+    validate_export(doc)
+    return doc
+
+
+def to_json(doc: Mapping[str, Any]) -> str:
+    """Canonical serialization: sorted keys, compact separators."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _fail(msg: str) -> None:
+    raise ObservabilityError(f"invalid obs export: {msg}")
+
+
+def _check_scalar(path: str, v: Any, allow_none: bool = False) -> None:
+    if v is None and allow_none:
+        return
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        _fail(f"{path} must be a number, got {type(v).__name__}")
+
+
+def validate_export(doc: Mapping[str, Any]) -> None:
+    """Raise :class:`~repro.errors.ObservabilityError` on schema violations."""
+    if not isinstance(doc, Mapping):
+        _fail("document must be a mapping")
+    for key in ("schema", "meta", "metrics", "spans"):
+        if key not in doc:
+            _fail(f"missing top-level key {key!r}")
+    if doc["schema"] != SCHEMA_VERSION:
+        _fail(f"schema {doc['schema']!r} != {SCHEMA_VERSION!r}")
+    if not isinstance(doc["meta"], Mapping):
+        _fail("meta must be a mapping")
+
+    metrics = doc["metrics"]
+    if not isinstance(metrics, Mapping):
+        _fail("metrics must be a mapping")
+    for group in ("counters", "gauges", "histograms"):
+        if group not in metrics or not isinstance(metrics[group], Mapping):
+            _fail(f"metrics.{group} missing or not a mapping")
+    for name, v in metrics["counters"].items():
+        if isinstance(v, bool) or not isinstance(v, int):
+            _fail(f"counter {name!r} value must be an int")
+    for name, v in metrics["gauges"].items():
+        _check_scalar(f"gauge {name!r}", v)
+    for name, h in metrics["histograms"].items():
+        if not isinstance(h, Mapping):
+            _fail(f"histogram {name!r} must be a mapping")
+        for key in ("buckets", "counts", "count", "sum"):
+            if key not in h:
+                _fail(f"histogram {name!r} missing {key!r}")
+        buckets, counts = h["buckets"], h["counts"]
+        if not isinstance(buckets, list) or not isinstance(counts, list):
+            _fail(f"histogram {name!r} buckets/counts must be lists")
+        if len(counts) != len(buckets) + 1:
+            _fail(
+                f"histogram {name!r} needs len(buckets)+1 counts "
+                f"({len(buckets) + 1}), got {len(counts)}"
+            )
+        if list(buckets) != sorted(buckets):
+            _fail(f"histogram {name!r} buckets must be sorted")
+        if sum(counts) != h["count"]:
+            _fail(f"histogram {name!r} counts do not sum to count")
+        _check_scalar(f"histogram {name!r} min", h.get("min"), allow_none=True)
+        _check_scalar(f"histogram {name!r} max", h.get("max"), allow_none=True)
+
+    spans = doc["spans"]
+    if not isinstance(spans, list):
+        _fail("spans must be a list")
+    seen_ids = set()
+    prev_key = None
+    for i, s in enumerate(spans):
+        if not isinstance(s, Mapping):
+            _fail(f"spans[{i}] must be a mapping")
+        for key in ("span_id", "name", "begin_ns", "end_ns", "parent_id", "attrs"):
+            if key not in s:
+                _fail(f"spans[{i}] missing {key!r}")
+        if not isinstance(s["span_id"], int) or not isinstance(s["begin_ns"], int):
+            _fail(f"spans[{i}] span_id/begin_ns must be ints")
+        if s["end_ns"] is not None:
+            if not isinstance(s["end_ns"], int):
+                _fail(f"spans[{i}] end_ns must be an int or null")
+            if s["end_ns"] < s["begin_ns"]:
+                _fail(f"spans[{i}] ends before it begins")
+        if not isinstance(s["name"], str):
+            _fail(f"spans[{i}] name must be a string")
+        if not isinstance(s["attrs"], Mapping):
+            _fail(f"spans[{i}] attrs must be a mapping")
+        for k, v in s["attrs"].items():
+            if v is not None and not isinstance(v, (bool, int, float, str)):
+                _fail(f"spans[{i}] attr {k!r} is not a JSON scalar")
+        key = (s["begin_ns"], s["span_id"])
+        if prev_key is not None and key < prev_key:
+            _fail(f"spans[{i}] out of (begin_ns, span_id) order")
+        prev_key = key
+        seen_ids.add(s["span_id"])
+    if not doc.get("spans_dropped"):
+        # With retention-capped tracing a parent may have been dropped;
+        # only insist on closed references when nothing was dropped.
+        for i, s in enumerate(spans):
+            pid = s["parent_id"]
+            if pid is not None and pid not in seen_ids:
+                _fail(f"spans[{i}] references unknown parent {pid}")

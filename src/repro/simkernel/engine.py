@@ -19,6 +19,8 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs import MetricsRegistry, Tracer
+from ..obs.metrics import CountersView
 
 __all__ = ["Event", "Engine", "TraceRecord"]
 
@@ -32,14 +34,25 @@ class Event:
     fn: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set once the engine has removed the event from the heap (whether
+    #: it ran or was skipped as cancelled).  Guards the live count:
+    #: cancelling an event that already executed must be a no-op.
+    popped: bool = field(default=False, compare=False)
     #: Owning engine, so cancellation can keep the live count exact.
     _engine: Optional["Engine"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when it is popped."""
-        if not self.cancelled and self._engine is not None:
-            self._engine._live -= 1
+        """Mark the event so the engine skips it when it is popped.
+
+        Cancelling an event that was already popped (it ran, or it was
+        already discarded as cancelled) is a no-op -- in particular it
+        must not drive the engine's pending count negative.
+        """
+        if self.cancelled or self.popped:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._live -= 1
 
 
 @dataclass(frozen=True)
@@ -77,8 +90,24 @@ class Engine:
         self._trace_enabled = trace
         self.trace_log: List[TraceRecord] = []
         self._stopped = False
-        #: Monotonic counters that subsystems bump for cheap statistics.
-        self.counters: Dict[str, int] = {}
+        #: Typed metrics (counters / gauges / histograms) on virtual time.
+        self.metrics = MetricsRegistry(clock=lambda: self._now_ns)
+        #: Structured span log on virtual time (see :mod:`repro.obs`).
+        self.tracer = Tracer(clock=lambda: self._now_ns)
+        #: Compatibility view: the historical untyped counters dict now
+        #: reads and writes the typed registry's counters.
+        self.counters: Dict[str, int] = CountersView(self.metrics)
+        self._events_counter = self.metrics.counter("engine.events")
+        #: Per-namespace monotonic id sequences (checkpoint keys etc.).
+        #: Engine-scoped, so same-seed runs allocate identical ids --
+        #: unlike process-global counters, which leak across runs.
+        self._id_counters: Dict[str, int] = {}
+
+    def next_id(self, namespace: str) -> int:
+        """Next monotonic id in ``namespace`` (starts at 1, O(1))."""
+        n = self._id_counters.get(namespace, 0) + 1
+        self._id_counters[namespace] = n
+        return n
 
     # ------------------------------------------------------------------
     @property
@@ -120,8 +149,8 @@ class Engine:
             self.trace_log.append(TraceRecord(self._now_ns, category, message))
 
     def count(self, name: str, delta: int = 1) -> None:
-        """Bump the named statistics counter."""
-        self.counters[name] = self.counters.get(name, 0) + delta
+        """Bump the named statistics counter (typed, in the registry)."""
+        self.metrics.inc(name, delta)
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
@@ -165,14 +194,17 @@ class Engine:
             ev = self._heap[0]
             if ev.cancelled:
                 heapq.heappop(self._heap)
+                ev.popped = True  # _live already dropped at cancel time
                 continue
             if until_ns is not None and ev.time_ns > until_ns:
                 self._now_ns = max(self._now_ns, int(until_ns))
                 break
             heapq.heappop(self._heap)
+            ev.popped = True
             self._live -= 1
             self._now_ns = ev.time_ns
             ev.fn()
+            self._events_counter.value += 1
             processed += 1
             if until is not None and until():
                 break

@@ -85,11 +85,16 @@ class ContentStore(StorageBackend):
         The backend that actually holds blobs -- typically a
         :class:`~repro.stablestore.ReplicatedStore`, so each unique
         payload costs one quorum write ever, not one per generation.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` receiving
+        ``dedup.hits`` / ``dedup.misses`` / ``dedup.bytes_saved``
+        (the cluster wires its engine's registry in).
     """
 
-    def __init__(self, inner: StorageBackend) -> None:
+    def __init__(self, inner: StorageBackend, metrics=None) -> None:
         super().__init__(device=inner.device)
         self.inner = inner
+        self.metrics = metrics
         self.kind = inner.kind
         self.survives_node_failure = inner.survives_node_failure
         #: content key -> number of references across live manifests.
@@ -128,6 +133,7 @@ class ContentStore(StorageBackend):
         refs: List[ChunkRef] = []
         pack: Dict[str, np.ndarray] = {}
         logical = 0
+        dedup_hits = 0
         for chunk in obj.chunks:
             for c in chunk.split_pages():
                 payload = np.ascontiguousarray(c.data)
@@ -138,6 +144,8 @@ class ContentStore(StorageBackend):
                 logical += int(payload.size)
                 if ckey not in self._home and ckey not in pack:
                     pack[ckey] = np.array(payload, copy=True)
+                else:
+                    dedup_hits += 1
         delay = 0
         pack_key: Optional[str] = None
         if pack:
@@ -163,6 +171,11 @@ class ContentStore(StorageBackend):
         self._manifest_refs[key] = [r.ckey for r in refs]
         self.logical_payload_bytes += logical
         self.images_stored += 1
+        if self.metrics is not None:
+            pack_bytes = int(sum(a.size for a in pack.values()))
+            self.metrics.inc("dedup.hits", dedup_hits)
+            self.metrics.inc("dedup.misses", len(pack))
+            self.metrics.inc("dedup.bytes_saved", logical - pack_bytes)
         return delay
 
     def load(self, key: str, now_ns: int) -> Tuple[Any, int]:

@@ -41,13 +41,17 @@ class GenerationGC:
         the replicated service and the monolithic backends alike.
     keep:
         Generations retained per ``<mech>/<pid>`` group.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` receiving
+        ``storage.gc_collected`` / ``storage.gc_bytes``.
     """
 
-    def __init__(self, store: StorageBackend, keep: int = 2) -> None:
+    def __init__(self, store: StorageBackend, keep: int = 2, metrics=None) -> None:
         if keep < 1:
             raise StorageError("GenerationGC must keep at least one generation")
         self.store = store
         self.keep = int(keep)
+        self.metrics = metrics
         self.collected = 0
         self.bytes_collected = 0
         self._stopped = False
@@ -81,6 +85,7 @@ class GenerationGC:
                 self._protected_chain(key, protected)
             doomed.extend(key for _, key in members[: -self.keep])
         collected = []
+        swept_bytes = 0
         for key in doomed:
             if key in protected:
                 continue
@@ -88,7 +93,11 @@ class GenerationGC:
             self.store.delete(key)
             collected.append(key)
             self.bytes_collected += size
+            swept_bytes += size
         self.collected += len(collected)
+        if self.metrics is not None and collected:
+            self.metrics.inc("storage.gc_collected", len(collected))
+            self.metrics.inc("storage.gc_bytes", swept_bytes)
         return collected
 
     # ------------------------------------------------------------------

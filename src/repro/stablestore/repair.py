@@ -115,12 +115,12 @@ class ReplicationRepairer:
         self._inflight.add(key)
         self.engine.after(
             delay,
-            lambda: self._finish(key, dest, obj, nbytes),
+            lambda: self._finish(key, dest, obj, nbytes, begun_ns=now),
             label="repair-copy",
         )
         return True
 
-    def _finish(self, key: str, dest, obj, nbytes: int) -> None:
+    def _finish(self, key: str, dest, obj, nbytes: int, begun_ns: int = 0) -> None:
         self._inflight.discard(key)
         if key not in self.store._directory:
             return  # deleted (GC'd) while the copy was in flight
@@ -130,3 +130,12 @@ class ReplicationRepairer:
         self.repairs_completed += 1
         self.bytes_rereplicated += nbytes
         self.engine.count("replica_repairs")
+        self.engine.metrics.inc("storage.repair_bytes", nbytes)
+        self.engine.tracer.record(
+            "storage.repair",
+            begun_ns,
+            self.engine.now_ns,
+            key=key,
+            dest=dest.server_id,
+            nbytes=nbytes,
+        )

@@ -155,6 +155,7 @@ class ReplicatedStore(StorageBackend):
         at which the W-th replica is durable (later replicas complete in
         the background, as quorum systems do).
         """
+        metrics = self.storage.engine.metrics
         placed: List[Tuple[StorageServer, int]] = []
         penalty = 0
         backoff = self.backoff_base_ns
@@ -166,6 +167,7 @@ class ReplicatedStore(StorageBackend):
                 # candidate (sloppy-quorum fallback placement).
                 penalty += self.timeout_ns + backoff
                 self.write_retries += 1
+                metrics.inc("storage.write_retries")
                 self.backoff_ns_total += backoff
                 backoff = min(int(backoff * self.backoff_factor), self.backoff_cap_ns)
                 continue
@@ -179,6 +181,7 @@ class ReplicatedStore(StorageBackend):
             for server, _ in placed:
                 server.drop_replica(key)
             self.quorum_write_failures += 1
+            metrics.inc("storage.quorum_write_failures")
             raise StorageLostError(
                 f"write quorum unreachable for {key!r}: "
                 f"{len(placed)} of {self.write_quorum} required replicas placed "
@@ -190,6 +193,9 @@ class ReplicatedStore(StorageBackend):
         self._directory[key] = nbytes
         self.bytes_written += nbytes * len(placed)
         delay = sorted(d for _, d in placed)[self.write_quorum - 1]
+        metrics.inc("storage.quorum_writes")
+        metrics.inc("storage.replica_bytes_written", nbytes * len(placed))
+        metrics.observe("storage.write_ns", delay)
         self.last_write_latency_ns = delay
         if self._latency_ewma_ns is None:
             self._latency_ewma_ns = float(delay)
@@ -204,6 +210,7 @@ class ReplicatedStore(StorageBackend):
         """Fetch ``obj`` from an R-of-N quorum of replica holders."""
         if key not in self._directory:
             raise StorageError(f"no blob stored under {key!r}")
+        metrics = self.storage.engine.metrics
         nbytes = self._directory[key]
         responders: List[int] = []
         obj: Any = None
@@ -217,6 +224,7 @@ class ReplicatedStore(StorageBackend):
             if not server.up:
                 penalty += self.timeout_ns + backoff
                 self.read_retries += 1
+                metrics.inc("storage.read_retries")
                 self.backoff_ns_total += backoff
                 backoff = min(int(backoff * self.backoff_factor), self.backoff_cap_ns)
                 continue
@@ -228,11 +236,14 @@ class ReplicatedStore(StorageBackend):
             obj = server.replicas[key][0]
         if len(responders) < self.read_quorum:
             self.quorum_read_failures += 1
+            metrics.inc("storage.quorum_read_failures")
             raise StorageLostError(
                 f"read quorum unreachable for {key!r}: "
                 f"{len(responders)} of {self.read_quorum} replicas responded"
             )
         self.bytes_read += nbytes
+        metrics.inc("storage.quorum_reads")
+        metrics.observe("storage.read_ns", max(responders))
         return obj, max(responders)
 
     def exists(self, key: str) -> bool:

@@ -1,0 +1,132 @@
+"""Unit tests for span-based tracing on a virtual clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, Tracer, export_obs
+
+
+class FakeClock:
+    """Manually-advanced virtual clock."""
+
+    def __init__(self) -> None:
+        self.t = 0
+
+    def __call__(self) -> int:
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def test_span_records_begin_end_and_duration(clock):
+    tr = Tracer(clock)
+    clock.t = 100
+    sp = tr.start_span("work", pid=1)
+    assert not sp.finished and sp.duration_ns is None
+    clock.t = 250
+    sp.end(state="done")
+    assert sp.begin_ns == 100 and sp.end_ns == 250
+    assert sp.duration_ns == 150
+    assert sp.attrs == {"pid": 1, "state": "done"}
+
+
+def test_end_is_idempotent(clock):
+    tr = Tracer(clock)
+    sp = tr.start_span("w")
+    clock.t = 10
+    sp.end()
+    clock.t = 99
+    sp.end(extra=True)  # attrs still merge, end time does not move
+    assert sp.end_ns == 10
+    assert sp.attrs == {"extra": True}
+
+
+def test_context_manager_nesting_sets_parents(clock):
+    tr = Tracer(clock)
+    with tr.span("outer") as outer:
+        with tr.span("inner") as inner:
+            leaf = tr.instant("leaf")
+    assert outer.parent_id is None
+    assert inner.parent_id == outer.span_id
+    assert leaf.parent_id == inner.span_id
+    assert outer.finished and inner.finished
+
+
+def test_instant_is_zero_length(clock):
+    tr = Tracer(clock)
+    clock.t = 42
+    sp = tr.instant("mark", node=3)
+    assert sp.begin_ns == sp.end_ns == 42
+    assert sp.duration_ns == 0
+
+
+def test_record_post_hoc_span(clock):
+    tr = Tracer(clock)
+    sp = tr.record("window", 5, 25, key="k")
+    assert (sp.begin_ns, sp.end_ns) == (5, 25)
+
+
+def test_export_orders_by_begin_then_id(clock):
+    tr = Tracer(clock)
+    clock.t = 100
+    late = tr.start_span("late")
+    sp = tr.record("early", 10, 20)
+    clock.t = 200
+    late.end()
+    names = [s["name"] for s in tr.export()]
+    assert names == ["early", "late"]
+    assert sp.span_id > 0
+
+
+def test_span_ids_deterministic(clock):
+    a, b = Tracer(FakeClock()), Tracer(FakeClock())
+    for tr in (a, b):
+        tr.start_span("x").end()
+        tr.instant("y")
+    assert [s["span_id"] for s in a.export()] == [s["span_id"] for s in b.export()]
+
+
+def test_max_spans_drops_and_counts(clock):
+    tr = Tracer(clock, max_spans=2)
+    for _ in range(5):
+        tr.instant("e")
+    assert len(tr.spans) == 2
+    assert tr.dropped == 3
+
+
+def test_attrs_coerced_to_json_scalars(clock):
+    tr = Tracer(clock)
+    tr.instant("e", obj=object(), ok=1)
+    attrs = tr.export()[0]["attrs"]
+    assert isinstance(attrs["obj"], str)
+    assert attrs["ok"] == 1
+
+
+def test_export_with_open_span_validates(clock):
+    tr = Tracer(clock)
+    tr.start_span("abandoned")  # never ended: stays open, still exports
+    doc = export_obs(MetricsRegistry(), tracer=tr)
+    assert doc["spans"][0]["end_ns"] is None
+
+
+def test_export_rejects_unknown_parent_when_nothing_dropped(clock):
+    from repro.obs import validate_export
+
+    tr = Tracer(clock)
+    sp = tr.instant("child")
+    sp.parent_id = 999
+    doc = {
+        "schema": "repro.obs/v1",
+        "meta": {},
+        "virtual_time_ns": 0,
+        "metrics": MetricsRegistry().to_dict(),
+        "spans": tr.export(),
+        "spans_dropped": 0,
+    }
+    with pytest.raises(ObservabilityError):
+        validate_export(doc)

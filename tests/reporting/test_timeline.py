@@ -1,0 +1,69 @@
+"""Unit tests for the timeline renderer and metrics-JSON export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import validate_export
+from repro.reporting import export_metrics_json, render_timeline, timeline_events
+from repro.simkernel.engine import Engine
+
+
+def _engine_with_history():
+    eng = Engine()
+    eng.after(1_000_000, lambda: None)
+    eng.run()
+    sp = eng.tracer.record(
+        "checkpoint", 100_000, 900_000, pid=7, key="m/7/1", state="done"
+    )
+    eng.tracer.instant("node.fail", node=0, tasks_killed=1)
+    eng.tracer.record("restart", 950_000, 1_000_000, pid=7, key="m/7/1")
+    eng.tracer.instant("ignored.span", x=1)
+    eng.metrics.inc("checkpoint.completed")
+    eng.metrics.observe("checkpoint.stall_ns", 800_000)
+    return eng, sp
+
+
+def test_timeline_events_filters_and_orders():
+    eng, _ = _engine_with_history()
+    events = timeline_events(eng)
+    assert [s.name for s in events] == ["checkpoint", "restart", "node.fail"]
+    keys = [(s.begin_ns, s.span_id) for s in events]
+    assert keys == sorted(keys)
+
+
+def test_timeline_pid_filter_keeps_global_events():
+    eng, _ = _engine_with_history()
+    eng.tracer.record("checkpoint", 10, 20, pid=99, key="m/99/2")
+    events = timeline_events(eng, pid=7)
+    names = [s.name for s in events]
+    assert "node.fail" in names  # no pid attr: affects everyone, kept
+    assert all(s.attrs.get("pid", 7) == 7 for s in events)
+
+
+def test_render_timeline_shows_events_and_open_spans():
+    eng, _ = _engine_with_history()
+    eng.tracer.start_span("checkpoint", pid=8, key="m/8/9")  # abandoned
+    out = render_timeline(eng, title="story")
+    assert out.splitlines()[0] == "story"
+    assert "node.fail" in out
+    assert "(open)" in out  # the abandoned checkpoint is visible
+    assert "ignored.span" not in out
+
+
+def test_render_timeline_empty_engine():
+    out = render_timeline(Engine())
+    assert "(no events)" in out
+
+
+def test_export_metrics_json_writes_validated_canonical_doc(tmp_path):
+    eng, _ = _engine_with_history()
+    path = tmp_path / "obs.json"
+    text = export_metrics_json(eng, meta={"experiment": "t"}, path=str(path))
+    assert path.read_text() == text
+    doc = json.loads(text)
+    validate_export(doc)
+    assert doc["metrics"]["counters"]["checkpoint.completed"] == 1
+    assert doc["meta"]["experiment"] == "t"
+    # Canonical form: serializing the parsed doc again is a fixpoint.
+    assert json.dumps(doc, sort_keys=True, separators=(",", ":")) == text

@@ -120,6 +120,71 @@ def test_trace_records_when_enabled():
     assert eng.trace_log[0].message == "hello"
 
 
+def test_cancel_after_run_is_noop():
+    """Cancelling an event that already executed must not corrupt the
+    pending count (it used to go negative)."""
+    eng = Engine()
+    ev = eng.after(100, lambda: None)
+    eng.run()
+    assert eng.pending() == 0
+    ev.cancel()
+    assert eng.pending() == 0
+    assert not ev.cancelled  # the event ran; it is not "cancelled"
+
+
+def test_double_cancel_decrements_once():
+    eng = Engine()
+    ev = eng.after(100, lambda: None)
+    eng.after(200, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    assert eng.pending() == 1
+
+
+def test_cancel_after_cancelled_event_discarded():
+    """Cancelling again after the engine popped the cancelled event off
+    the heap stays a no-op."""
+    eng = Engine()
+    ev = eng.after(50, lambda: None)
+    eng.after(100, lambda: None)
+    ev.cancel()
+    eng.run()
+    assert eng.pending() == 0
+    ev.cancel()
+    assert eng.pending() == 0
+
+
+def test_cancel_from_within_callback_keeps_count_exact():
+    eng = Engine()
+    fired = []
+    later = eng.after(200, lambda: fired.append("later"))
+
+    def first():
+        fired.append("first")
+        later.cancel()
+        later.cancel()  # double cancel from inside a callback
+
+    eng.after(100, first)
+    assert eng.pending() == 2
+    eng.run()
+    assert fired == ["first"]
+    assert eng.pending() == 0
+
+
+def test_pending_tracks_schedule_cancel_run():
+    eng = Engine()
+    evs = [eng.after(10 * (i + 1), lambda: None) for i in range(5)]
+    assert eng.pending() == 5
+    evs[0].cancel()
+    evs[3].cancel()
+    assert eng.pending() == 3
+    eng.run()
+    assert eng.pending() == 0
+    for ev in evs:  # cancelling anything after the run changes nothing
+        ev.cancel()
+    assert eng.pending() == 0
+
+
 def test_stop_requests_early_return():
     eng = Engine()
     seen = []

@@ -67,6 +67,45 @@ def test_engine_cancellation_removes_exactly_those_events(delays, data):
     assert set(fired2) == set(range(len(delays))) - to_cancel
 
 
+@settings(**COMMON)
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=30),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=29),  # which event to cancel
+            st.integers(min_value=0, max_value=3),  # how many times
+            st.booleans(),  # cancel before or after a partial run
+        ),
+        max_size=30,
+    ),
+)
+def test_engine_pending_never_negative_under_cancel_run_interleavings(
+    delays, cancels
+):
+    """The O(1) live-event count stays exact (and in particular never
+    negative) under arbitrary interleavings of scheduling, cancellation
+    -- including double cancels and cancels of already-run events --
+    and partial runs."""
+    eng = Engine()
+    fired: list = []
+    evs = [eng.after(d, lambda i=i: fired.append(i)) for i, d in enumerate(delays)]
+    for idx, times, after_run in cancels:
+        if idx >= len(evs):
+            continue
+        if after_run:
+            eng.run(max_events=1)
+        for _ in range(times):
+            evs[idx].cancel()
+        assert eng.pending() >= 0
+    eng.run()
+    assert eng.pending() == 0
+    # Exactness, not just non-negativity: every event either fired or
+    # was cancelled before it ran, never both, never neither.
+    ran = set(fired)
+    for i, ev in enumerate(evs):
+        assert (i in ran) != ev.cancelled
+
+
 # ----------------------------------------------------------------------
 # Memory
 # ----------------------------------------------------------------------
