@@ -20,6 +20,17 @@ PR's perf claims live here:
 * ``dedup``       -- bytes pushed at the backing store with and without
   the content-addressed :class:`~repro.stablestore.ContentStore` for a
   repeated-generation workload.
+* ``engine``      -- events/second through the hybrid timer-wheel
+  :class:`~repro.simkernel.engine.Engine` vs a faithful
+  reimplementation of the seed's scheduler (an ``order=True`` Event
+  dataclass in a single ``heapq``), on an empty-callback event storm
+  and on a mixed schedule/cancel workload.  The overhaul's acceptance
+  bar is a >=5x storm speedup.
+* ``grid_runner`` -- wall-clock of an E12-style system-MTBF sweep:
+  the pre-runner serial shape (one scheduled event per node per trial)
+  vs the sharded :class:`~repro.runner.GridRunner` over
+  fleet-vectorized cells, cold-cache and warm-cache.  The acceptance
+  bar is a >=4x sweep speedup.
 
 Results are written as JSON (default: ``BENCH_PERF.json`` at the repo
 root -- the committed baseline).  ``--check BASELINE.json`` compares the
@@ -38,12 +49,15 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import heapq
+import itertools
 import json
 import sys
 import time
 import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -53,6 +67,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.capture import _extent_runs  # noqa: E402
 from repro.core.digest import block_digests  # noqa: E402
 from repro.core.image import CheckpointImage, materialize_chain  # noqa: E402
+from repro.simkernel.engine import Engine  # noqa: E402
 from repro.simkernel.memory import Prot, VMA, VMAKind  # noqa: E402
 from repro.stablestore import ContentStore  # noqa: E402
 from repro.storage.backends import MemoryStorage  # noqa: E402
@@ -260,6 +275,231 @@ def bench_dedup(npages: int, generations: int, dirty_fraction: float) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Engine scheduler: hybrid timer wheel vs the seed's heapq of dataclasses
+# ----------------------------------------------------------------------
+@dataclass(order=True)
+class _SeedEvent:
+    """The seed engine's Event: an ``order=True`` dataclass in a heap."""
+
+    time_ns: int
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    popped: bool = field(default=False, compare=False)
+    _engine: Optional[object] = field(default=None, compare=False, repr=False)
+
+    def cancel(self) -> None:
+        if self.cancelled or self.popped:
+            return
+        self.cancelled = True
+        if self._engine is not None:
+            self._engine._live -= 1
+
+
+class _SeedEngine:
+    """Faithful reimplementation of the seed scheduler's hot path:
+    one ``heapq`` of :class:`_SeedEvent` objects, cancelled events
+    retained in the heap until their scheduled time is reached."""
+
+    def __init__(self) -> None:
+        self._now_ns = 0
+        self._heap: List[_SeedEvent] = []
+        self._live = 0
+        self._seq = itertools.count()
+
+    @property
+    def now_ns(self) -> int:
+        return self._now_ns
+
+    def at(self, time_ns: int, fn: Callable[[], None]) -> _SeedEvent:
+        ev = _SeedEvent(int(time_ns), next(self._seq), fn, _engine=self)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def after(self, delay_ns: int, fn: Callable[[], None]) -> _SeedEvent:
+        return self.at(self._now_ns + int(delay_ns), fn)
+
+    def run(self) -> int:
+        processed = 0
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            ev.popped = True
+            if ev.cancelled:
+                continue
+            self._live -= 1
+            self._now_ns = ev.time_ns
+            ev.fn()
+            processed += 1
+        return processed
+
+    def stored_events(self) -> int:
+        return len(self._heap)
+
+
+def _noop() -> None:
+    pass
+
+
+#: Deterministic pseudo-random spread (Knuth multiplicative hash) --
+#: identical schedules for both engines without touching an RNG.
+def _storm_times(n: int, span_ns: int) -> List[int]:
+    return [(i * 2654435761) % span_ns for i in range(n)]
+
+
+def _run_storm(make_engine: Callable[[], object], schedule: Callable,
+               n: int, span_ns: int) -> float:
+    """Seconds to schedule and drain ``n`` empty-callback events."""
+    eng = make_engine()
+    times = _storm_times(n, span_ns)
+    t0 = time.perf_counter()
+    sched = schedule(eng)
+    for t in times:
+        sched(t, _noop)
+    eng.run()
+    return time.perf_counter() - t0
+
+
+def _run_mixed(make_engine: Callable[[], object], n: int, span_ns: int,
+               cancel_every: int) -> Tuple[float, int]:
+    """Schedule ``n`` timers, cancel all but every ``cancel_every``-th,
+    then drain.  Returns (seconds, peak stored entries after cancels) --
+    the seed engine retains every cancelled event in its heap; the
+    hybrid engine compacts."""
+    eng = make_engine()
+    times = _storm_times(n, span_ns)
+    t0 = time.perf_counter()
+    handles = [eng.at(t, _noop) for t in times]
+    for i, h in enumerate(handles):
+        if i % cancel_every:
+            h.cancel()
+    stored = eng.stored_events()
+    eng.run()
+    return time.perf_counter() - t0, stored
+
+
+def bench_engine(n: int, span_ns: int, repeats: int) -> Dict:
+    """Events/second through the scheduler, hybrid wheel vs seed heapq."""
+    storm_seed = best_of(
+        lambda: _run_storm(_SeedEngine, lambda e: e.at, n, span_ns), repeats
+    )
+    storm_hybrid = best_of(
+        lambda: _run_storm(Engine, lambda e: e.at_anon, n, span_ns), repeats
+    )
+    storm_labelled = best_of(
+        lambda: _run_storm(Engine, lambda e: e.at, n, span_ns), repeats
+    )
+
+    cancel_every = 4  # cancel 3 of every 4 timers
+    mixed_seed = best_of(lambda: _run_mixed(_SeedEngine, n, span_ns,
+                                            cancel_every)[0], repeats)
+    mixed_hybrid = best_of(lambda: _run_mixed(Engine, n, span_ns,
+                                              cancel_every)[0], repeats)
+    _, seed_stored = _run_mixed(_SeedEngine, n, span_ns, cancel_every)
+    _, hybrid_stored = _run_mixed(Engine, n, span_ns, cancel_every)
+
+    return {
+        "events": n,
+        "span_ms": span_ns // 1_000_000,
+        "storm_seed_eps": round(n / storm_seed),
+        "storm_hybrid_eps": round(n / storm_hybrid),
+        "storm_labelled_eps": round(n / storm_labelled),
+        "storm_speedup": round(storm_seed / storm_hybrid, 2),
+        "mixed_cancel_fraction": round(1 - 1 / cancel_every, 2),
+        "mixed_seed_eps": round(n / mixed_seed),
+        "mixed_hybrid_eps": round(n / mixed_hybrid),
+        "mixed_speedup": round(mixed_seed / mixed_hybrid, 2),
+        "mixed_stored_after_cancels_seed": seed_stored,
+        "mixed_stored_after_cancels_hybrid": hybrid_stored,
+    }
+
+
+# ----------------------------------------------------------------------
+# Grid runner: serial per-node-event sweep vs sharded fleet-cell sweep
+# ----------------------------------------------------------------------
+def bench_grid_runner(sizes: List[int], node_mtbf_s: float, n_trials: int,
+                      repeats: int) -> Dict:
+    """Wall-clock of an E12-style system-MTBF sweep, three ways.
+
+    * ``serial``: the pre-runner shape -- every grid point schedules one
+      engine event *per node* per trial (scalar time-to-failure draws,
+      one closure each) and drains to the first failure.
+    * ``runner_cold``: the same statistic through the sharded
+      :class:`~repro.runner.GridRunner` over fleet-vectorized
+      ``e12_mtbf_cell`` cells, empty disk cache.
+    * ``runner_warm``: the identical sweep again -- pure cache hits.
+
+    The two runner paths produce byte-identical merged documents; the
+    speedup reported is serial vs cold (vectorization), with the warm
+    ratio showing what a re-run of an unchanged sweep costs.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.cluster import ExponentialFailures
+    from repro.runner import Cell, GridRunner, grid_to_json
+    from repro.runner.experiments import e12_mtbf_cell
+    from repro.simkernel.costs import NS_PER_S
+
+    def serial_sweep() -> List[float]:
+        mtbfs = []
+        for n in sizes:
+            ttfs = []
+            for trial in range(n_trials):
+                eng = Engine(seed=12)
+                model = ExponentialFailures(
+                    node_mtbf_s, rng=np.random.default_rng(n * 1009 + trial))
+                for _ in range(n):
+                    eng.after_anon(int(model.draw_ttf_s() * NS_PER_S), _noop)
+                eng.run(max_events=1)  # first failure ends the trial
+                ttfs.append(eng.now_ns / NS_PER_S)
+            mtbfs.append(sum(ttfs) / len(ttfs))
+        return mtbfs
+
+    def cells() -> List[Cell]:
+        return [
+            Cell("e12", e12_mtbf_cell,
+                 {"n_nodes": n, "node_mtbf_s": node_mtbf_s,
+                  "n_trials": n_trials}, seed=12)
+            for n in sizes
+        ]
+
+    t_serial = best_of(serial_sweep, repeats)
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-grid-")
+    try:
+        def cold() -> str:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+            return grid_to_json(GridRunner(cache_dir=cache_dir).run(cells()))
+
+        t_cold = best_of(cold, repeats)
+        doc_cold = cold()
+        warm_runner = GridRunner(cache_dir=cache_dir)
+        t_warm = best_of(lambda: grid_to_json(warm_runner.run(cells())),
+                         repeats)
+        doc_warm = grid_to_json(warm_runner.run(cells()))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    return {
+        "sizes": sizes,
+        "node_mtbf_s": node_mtbf_s,
+        "trials_per_size": n_trials,
+        "workers": 1,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(t_serial, 4),
+        "runner_cold_s": round(t_cold, 4),
+        "runner_warm_s": round(t_warm, 4),
+        "speedup_cold": round(t_serial / t_cold, 2),
+        "speedup_warm": round(t_serial / t_warm, 2),
+        "deterministic": doc_cold == doc_warm,
+    }
+
+
+# ----------------------------------------------------------------------
 def run(repeats: int) -> Dict:
     """Run every microbench and return the BENCH_PERF document."""
     return {
@@ -268,22 +508,41 @@ def run(repeats: int) -> Dict:
         "capture": bench_capture(npages=1024, repeats=repeats),
         "materialize": bench_materialize(npages=512, ndeltas=8, repeats=repeats),
         "dedup": bench_dedup(npages=256, generations=8, dirty_fraction=0.1),
+        "engine": bench_engine(n=100_000, span_ns=50_000_000, repeats=repeats),
+        "grid_runner": bench_grid_runner(
+            sizes=[1024, 4096, 16384], node_mtbf_s=50.0, n_trials=10,
+            repeats=max(1, repeats // 2),
+        ),
     }
 
 
 def check_regression(current: Dict, baseline_path: Path, max_regression: float) -> int:
-    """Exit status for CI: 1 if block-scan throughput regressed too far."""
+    """Exit status for CI: 1 if a guarded throughput regressed too far."""
     baseline = json.loads(baseline_path.read_text())
-    base = baseline["block_scan"]["vectorized_mbps"]
-    cur = current["block_scan"]["vectorized_mbps"]
-    ratio = base / max(cur, 1e-9)
-    print(f"block_scan vectorized: baseline {base:.1f} MB/s, "
-          f"current {cur:.1f} MB/s ({ratio:.2f}x slower)")
-    if ratio > max_regression:
-        print(f"FAIL: regression exceeds {max_regression:.1f}x")
-        return 1
-    print("OK: within regression budget")
-    return 0
+    guarded = [
+        ("block_scan vectorized MB/s",
+         baseline["block_scan"]["vectorized_mbps"],
+         current["block_scan"]["vectorized_mbps"]),
+    ]
+    if "engine" in baseline:
+        guarded.append(("engine storm events/s",
+                        baseline["engine"]["storm_hybrid_eps"],
+                        current["engine"]["storm_hybrid_eps"]))
+    if "grid_runner" in baseline:
+        guarded.append(("grid_runner sweep speedup",
+                        baseline["grid_runner"]["speedup_cold"],
+                        current["grid_runner"]["speedup_cold"]))
+    status = 0
+    for name, base, cur in guarded:
+        ratio = base / max(cur, 1e-9)
+        print(f"{name}: baseline {base:.1f}, current {cur:.1f} "
+              f"({ratio:.2f}x slower)")
+        if ratio > max_regression:
+            print(f"FAIL: regression exceeds {max_regression:.1f}x")
+            status = 1
+    if not status:
+        print("OK: within regression budget")
+    return status
 
 
 def main(argv: List[str] | None = None) -> int:

@@ -9,25 +9,32 @@ application, or a part of it, many times to achieve one successful
 completion."
 
 Analytic table across machine sizes, cross-validated against the
-discrete-event cluster at a simulable scale.
+discrete-event simulation at every size -- including the full 65,536
+nodes, which the vectorized :class:`~repro.cluster.NodeFleet` cohorts
+make cheap enough to run as an experiment-grid sweep.
 """
 
 from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.analysis import expected_time_without_ckpt_s, mtbf_table
-from repro.cluster import Cluster, ExponentialFailures, system_mtbf_s
-from repro.simkernel.costs import NS_PER_S
+from repro.cluster import system_mtbf_s
 from repro.reporting import render_table
+from repro.runner import Cell, GridRunner
+from repro.runner.experiments import e12_mtbf_cell
 
 from conftest import report
 
 NODE_MTBF_H = 100_000.0  # an optimistic 11-year node MTBF
 SIZES = [1, 64, 1024, 8192, 65_536]
 JOB_DAYS = 7.0
+
+# Simulated sweep: a short node MTBF keeps virtual time small while the
+# analytic 1/n law being validated is scale-free.
+SIM_NODE_MTBF_S = 50.0
+SIM_SIZES = [64, 1024, 8192, 65_536]
+SIM_TRIALS = 300
 
 
 def analytic_rows():
@@ -53,24 +60,44 @@ def analytic_rows():
     return rows
 
 
-def simulated_system_mtbf(n_nodes=64, node_mtbf_s=50.0, n_trials=300):
-    """Measure time-to-first-failure over many failure-injection trials."""
-    rng = np.random.default_rng(12)
-    ttfs = []
-    for _ in range(n_trials):
-        model = ExponentialFailures(node_mtbf_s, rng=rng)
-        ttfs.append(min(model.draws(n_nodes)))
-    return float(np.mean(ttfs))
+def simulated_rows():
+    """Fleet-vectorized system-MTBF sweep through the grid runner.
+
+    Each cell measures mean time-to-first-failure over ``SIM_TRIALS``
+    pre-sampled cohorts; with :class:`~repro.cluster.NodeFleet` arrays a
+    65,536-node machine costs one vectorized draw per trial instead of
+    65,536 scheduled events, so BlueGene/L scale is just another row.
+    """
+    cells = [
+        Cell(
+            "e12", e12_mtbf_cell,
+            {"n_nodes": n, "node_mtbf_s": SIM_NODE_MTBF_S,
+             "n_trials": SIM_TRIALS},
+            seed=12,
+        )
+        for n in SIM_SIZES
+    ]
+    doc = GridRunner(workers=1).run(cells)
+    rows = []
+    for c in sorted(doc["cells"], key=lambda c: c["params"]["n_nodes"]):
+        r = c["result"]
+        rows.append(
+            (
+                r["n_nodes"],
+                round(r["sim_system_mtbf_s"], 4),
+                round(r["analytic_system_mtbf_s"], 4),
+                round(r["sim_system_mtbf_s"] / r["analytic_system_mtbf_s"], 3),
+            )
+        )
+    return rows
 
 
 def measure():
-    rows = analytic_rows()
-    sim_mtbf = simulated_system_mtbf()
-    return rows, sim_mtbf
+    return analytic_rows(), simulated_rows()
 
 
 def test_e12_mtbf_scaling(run_once):
-    rows, sim_mtbf = run_once(measure)
+    rows, sim_rows = run_once(measure)
     text = render_table(
         [
             "nodes",
@@ -82,10 +109,13 @@ def test_e12_mtbf_scaling(run_once):
         rows,
         title=f"E12. Failure scaling with machine size (node MTBF {NODE_MTBF_H:.0f} h).",
     )
-    analytic = system_mtbf_s(50.0, 64)
-    text += (
-        f"\n\nCross-validation: 64 nodes x 50 s node-MTBF -> measured system "
-        f"MTBF {sim_mtbf:.3f} s vs analytic {analytic:.3f} s."
+    text += "\n\n" + render_table(
+        ["nodes", "simulated system MTBF (s)", "analytic (s)", "ratio"],
+        sim_rows,
+        title=(
+            f"Cross-validation: fleet-vectorized simulation, "
+            f"{SIM_NODE_MTBF_S:.0f} s node MTBF, {SIM_TRIALS} trials/row."
+        ),
     )
     report("e12_mtbf_scaling", text)
 
@@ -103,5 +133,11 @@ def test_e12_mtbf_scaling(run_once):
     assert by_n[65_536][3] == "inf" or by_n[65_536][3] > 100
     # A week-long job's expected scratch completion time is absurd.
     assert by_n[65_536][4] > 100
-    # The discrete-event cluster agrees with the analytic MTBF within 10%.
-    assert abs(sim_mtbf - analytic) / analytic < 0.10
+    # The discrete-event simulation agrees with the analytic 1/n MTBF
+    # law within 10% at every size -- including the BlueGene/L-scale
+    # 65,536-node row, which must be present in the sweep.
+    sim_by_n = {r[0]: r for r in sim_rows}
+    assert 65_536 in sim_by_n
+    for n in SIM_SIZES:
+        sim, analytic = sim_by_n[n][1], system_mtbf_s(SIM_NODE_MTBF_S, n)
+        assert abs(sim - analytic) / analytic < 0.10

@@ -8,75 +8,33 @@ the event of power outages or reboots."
 Three scenarios on the simulated cluster: node failure with local-only
 checkpoints (unrecoverable), node failure with remote checkpoints
 (recovered on a spare), and a power-cycle reboot with local checkpoints
-(recoverable -- the one case local storage handles).
+(recoverable -- the one case local storage handles).  The scenarios run
+as a grid over :func:`repro.runner.experiments.e13_survivability_cell`
+through the sharded :class:`~repro.runner.GridRunner`.
 """
 
 from __future__ import annotations
 
-from repro.cluster import CheckpointCoordinator, Cluster, ParallelJob
-from repro.core.direction import AutonomicCheckpointer
-from repro.mechanisms import UCLiK
-from repro.simkernel.costs import NS_PER_MS, NS_PER_S
-from repro.workloads import SparseWriter
 from repro.reporting import render_table
+from repro.runner import Cell, GridRunner
+from repro.runner.experiments import e13_survivability_cell
 
 from conftest import report
 
-
-def wf(rank):
-    return SparseWriter(
-        iterations=4000, dirty_fraction=0.03, heap_bytes=512 * 1024,
-        seed=rank, compute_ns=100_000,
-    )
-
-
-def run_scenario(storage_kind):
-    cl = Cluster(n_nodes=2, n_spares=1, seed=13)
-    job = ParallelJob(cl, wf, n_ranks=2, name=storage_kind)
-    if storage_kind == "local":
-        mechs = {n.node_id: UCLiK(n.kernel, n.local_storage) for n in cl.nodes}
-    else:
-        mechs = {
-            n.node_id: AutonomicCheckpointer(n.kernel, cl.remote_storage)
-            for n in cl.nodes
-        }
-    coord = CheckpointCoordinator(job, mechs, 30 * NS_PER_MS)
-    coord.start()
-    cl.engine.after(100 * NS_PER_MS, lambda: cl.fail_node(0))
-    done = job.run_to_completion(limit_ns=120 * NS_PER_S)
-    return {
-        "completed": done,
-        "waves": len(coord.waves),
-        "recoveries": coord.recoveries,
-        "unrecoverable": coord.unrecoverable,
-    }
-
-
-def run_reboot_scenario():
-    """Local checkpoints + power-cycle: the paper's one supported case."""
-    cl = Cluster(n_nodes=1, seed=13)
-    node = cl.node(0)
-    mech = UCLiK(node.kernel, node.local_storage)
-    wl = wf(0)
-    t = wl.spawn(node.kernel)
-    cl.run_for(50 * NS_PER_MS)
-    req = mech.request_checkpoint(t)
-    cl.run_for(2 * NS_PER_S)
-    assert req.completed_ns is not None
-    # Power outage + reboot: processes die, the disk survives.
-    cl.fail_node(0)
-    node.repair(disk_survived=True)
-    mech2 = UCLiK(node.kernel, node.local_storage)
-    res = mech2.restart(req.key)
-    node.kernel.run_until_exit(res.task, limit_ns=10**13)
-    return res.task.exit_code == 0
+SCENARIOS = ("local", "remote", "reboot")
 
 
 def measure():
+    cells = [
+        Cell("e13", e13_survivability_cell, {"scenario": s}, seed=13)
+        for s in SCENARIOS
+    ]
+    doc = GridRunner(workers=1).run(cells)
+    by = {c["params"]["scenario"]: c["result"] for c in doc["cells"]}
     return {
-        "local": run_scenario("local"),
-        "remote": run_scenario("remote"),
-        "reboot": run_reboot_scenario(),
+        "local": by["local"],
+        "remote": by["remote"],
+        "reboot": by["reboot"]["completed"] and by["reboot"]["checkpoint_completed"],
     }
 
 

@@ -23,82 +23,16 @@ Three claims are demonstrated:
 
 from __future__ import annotations
 
-from repro.cluster import CheckpointCoordinator, Cluster, ParallelJob
+from repro.cluster import Cluster
 from repro.core.autonomic import AutonomicIntervalController, FailureRateEstimator
-from repro.core.direction import AutonomicCheckpointer
-from repro.obs import export_obs
-from repro.reporting import render_replication_table, render_table, render_timeline
-from repro.simkernel.costs import NS_PER_MS, NS_PER_S
-from repro.workloads import SparseWriter
+from repro.reporting import render_table
+from repro.runner import Cell, GridRunner
+from repro.runner.experiments import e19_replication_cell
+from repro.simkernel.costs import NS_PER_MS
 
 from conftest import report, report_json
 
 INTERVAL_NS = 25 * NS_PER_MS
-
-
-def wf(rank):
-    return SparseWriter(
-        iterations=4000, dirty_fraction=0.03, heap_bytes=512 * 1024,
-        seed=rank, compute_ns=100_000,
-    )
-
-
-def run_cell(rf, storage_failures, repair=True):
-    """One grid cell: a 2-rank coordinated job over the replicated
-    service, ``storage_failures`` injected storage-server failures (each
-    targeting a server that actually holds the latest wave's data, so
-    the hit is never vacuous), then a compute-node failure."""
-    cl = Cluster(
-        n_nodes=2, n_spares=2, seed=19,
-        storage_servers=3, replication=rf, storage_repair=repair,
-    )
-    job = ParallelJob(cl, wf, n_ranks=2, name=f"rf{rf}")
-    mechs = {
-        n.node_id: AutonomicCheckpointer(n.kernel, n.remote_storage)
-        for n in cl.nodes
-    }
-    coord = CheckpointCoordinator(job, mechs, INTERVAL_NS)
-    coord.start()
-    store = cl.remote_storage
-
-    def fail_holder():
-        if not coord.waves:
-            cl.engine.after(10 * NS_PER_MS, fail_holder)
-            return
-        key = next(iter(coord.waves[-1].values()))[0]
-        holders = store.holders(key)
-        if holders:
-            cl.fail_storage_server(holders[0])
-
-    if storage_failures >= 1:
-        cl.engine.after(60 * NS_PER_MS, fail_holder)
-    if storage_failures >= 2:
-        cl.engine.after(140 * NS_PER_MS, fail_holder)
-    cl.engine.after(220 * NS_PER_MS, lambda: cl.fail_node(0))
-    done = job.run_to_completion(limit_ns=120 * NS_PER_S)
-    return {
-        "timeline": render_timeline(cl.engine),
-        "obs": export_obs(
-            cl.engine.metrics,
-            tracer=cl.engine.tracer,
-            meta={"experiment": "e19", "rf": rf, "storage_failures": storage_failures},
-            now_ns=cl.engine.now_ns,
-        ),
-        "store": store,
-        "repairer": cl.storage_repairer,
-        "completed": done,
-        "waves": len(coord.waves),
-        "recoveries": coord.recoveries,
-        "unrecoverable": coord.unrecoverable,
-        "fallbacks": coord.generation_fallbacks,
-        "lost": len(store.lost_keys()),
-        "write_retries": store.write_retries,
-        "backoff_ns": store.backoff_ns_total,
-        "quorum_write_failures": store.quorum_write_failures,
-        "repairs": cl.storage_repairer.repairs_completed
-        if cl.storage_repairer is not None
-        else 0,
-    }
 
 
 def contention_interval(n_writers):
@@ -125,7 +59,20 @@ GRID = [
 
 
 def measure():
-    cells = {label: run_cell(rf, nf, rep) for label, rf, nf, rep in GRID}
+    """The seven-cell grid runs through the sharded runner; each cell is
+    an importable function (``e19_replication_cell``) that renders its
+    own timeline/replication table and exports its own obs document."""
+    grid = [
+        Cell(
+            "e19", e19_replication_cell,
+            {"rf": rf, "storage_failures": nf, "repair": rep,
+             "interval_ns": INTERVAL_NS, "label": label},
+            seed=19,
+        )
+        for label, rf, nf, rep in GRID
+    ]
+    doc = GridRunner(workers=1).run(grid)
+    cells = {c["params"]["label"]: c["result"] for c in doc["cells"]}
     intervals = {n: contention_interval(n) for n in (1, 4, 16)}
     return {"cells": cells, "intervals": intervals}
 
@@ -156,11 +103,7 @@ def test_e19_replicated_storage(run_once):
         rows,
         title="E19. Replicated stable storage under storage-server failures.",
     )
-    text += "\n\n" + render_replication_table(
-        cells["rf=2, 2 failures, repair"]["store"],
-        cells["rf=2, 2 failures, repair"]["repairer"],
-        title="Service state after the rf=2 / 2-failure / repair run",
-    )
+    text += "\n\n" + cells["rf=2, 2 failures, repair"]["replication_table"]
     text += "\n\n" + render_table(
         ["concurrent writers", "recommended interval (s)"],
         [(n, f"{iv:.1f}") for n, iv in sorted(out["intervals"].items())],

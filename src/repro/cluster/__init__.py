@@ -9,6 +9,7 @@ from .failures import (
     p_survive,
     system_mtbf_s,
 )
+from .fleet import NodeFleet
 from .job import CheckpointCoordinator, ParallelJob, Rank, ScratchRestartPolicy
 from .machine import Cluster, ClusterNode, NodeState
 
@@ -17,6 +18,7 @@ __all__ = [
     "Cluster",
     "ClusterNode",
     "NodeState",
+    "NodeFleet",
     "FailureModel",
     "ExponentialFailures",
     "WeibullFailures",

@@ -58,6 +58,17 @@ class FailureModel:
         """Sample one time-to-failure, in seconds."""
         raise NotImplementedError
 
+    def draw_ttf_array(self, n: int) -> np.ndarray:
+        """Sample ``n`` independent times-to-failure as a float array.
+
+        Subclasses override this with a single vectorized draw.  For the
+        NumPy distributions used here a size-``n`` draw consumes the
+        generator stream exactly like ``n`` scalar draws, so scalar and
+        vector paths produce identical samples from the same seed (the
+        cohort/per-node agreement tests rely on this).
+        """
+        return np.array([self.draw_ttf_s() for _ in range(n)], dtype=np.float64)
+
     def draws(self, n: int) -> Iterator[float]:
         """Sample ``n`` independent times-to-failure."""
         for _ in range(n):
@@ -75,6 +86,11 @@ class ExponentialFailures(FailureModel):
 
     def draw_ttf_s(self) -> float:
         return float(self.rng.exponential(self.mtbf_s))
+
+    def draw_ttf_array(self, n: int) -> np.ndarray:
+        """One vectorized draw for the whole cohort (same stream as
+        ``n`` scalar draws)."""
+        return self.rng.exponential(self.mtbf_s, size=n)
 
 
 class WeibullFailures(FailureModel):
@@ -97,3 +113,8 @@ class WeibullFailures(FailureModel):
 
     def draw_ttf_s(self) -> float:
         return float(self.scale * self.rng.weibull(self.shape))
+
+    def draw_ttf_array(self, n: int) -> np.ndarray:
+        """One vectorized draw for the whole cohort (same stream as
+        ``n`` scalar draws)."""
+        return self.scale * self.rng.weibull(self.shape, size=n)

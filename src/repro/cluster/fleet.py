@@ -1,0 +1,242 @@
+"""Vectorized failure cohorts for BlueGene/L-scale fleets.
+
+Simulating 65,536 nodes as individually scheduled failure callbacks
+costs one Python closure plus one engine event per node up front -- the
+exact overhead that capped the E12/E18 sweeps at a few hundred nodes.
+A :class:`NodeFleet` keeps the whole cohort's failure/repair process in
+NumPy arrays instead:
+
+* per-node next-failure and repair times live in ``int64`` arrays,
+  pre-sampled through :meth:`FailureModel.draw_ttf_array` (one
+  vectorized draw for the cohort, same generator stream as the scalar
+  path);
+* one *dispatcher* event is scheduled at the earliest pending
+  transition; when it fires, every node due at or before that instant
+  is processed with vectorized masks and the dispatcher re-arms at the
+  new minimum.  An optional batch window coalesces near-simultaneous
+  transitions into one dispatch at the cost of (bounded, documented)
+  timing quantization;
+* nodes stay *statistical* -- counters in an array -- until something
+  actually touches them.  A failure hitting a node the caller cares
+  about (see ``on_fail``) can promote it to a fully simulated
+  :class:`~repro.cluster.machine.ClusterNode`; everything else never
+  pays for a kernel.
+
+Accounting is exact regardless of batching: failure and repair *times*
+are taken from the arrays, only the Python-visible processing moment is
+quantized.  With ``batch_window_ns=0`` (the default) dispatch times are
+exact too, and the fleet agrees with the per-node scheduling path in
+distribution (see ``tests/cluster/test_fleet.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import ClusterError
+from ..simkernel.costs import NS_PER_S
+from ..simkernel.engine import Engine
+from .failures import FailureModel
+
+__all__ = ["NodeFleet"]
+
+#: Sentinel for "no transition pending" (int64 max).
+_NEVER = np.iinfo(np.int64).max
+
+#: Saturation point for drawn/derived times (~146 simulated years).
+#: Anything beyond it cannot fire inside a realistic sweep, and capping
+#: here keeps every int64 add below the sentinel without overflow.
+_HORIZON_NS = _NEVER // 2
+
+
+def _abs_times(now_ns: int, ttf_s: np.ndarray) -> np.ndarray:
+    """Absolute transition instants for drawn times-to-failure, with
+    deltas saturated at :data:`_HORIZON_NS` so huge draws (or huge
+    ``repair_s``) never overflow the int64 arrays."""
+    delta = np.minimum(ttf_s * NS_PER_S, _HORIZON_NS).astype(np.int64)
+    return now_ns + delta
+
+
+class NodeFleet:
+    """A cohort of statistically identical nodes under one dispatcher.
+
+    Parameters
+    ----------
+    engine:
+        The shared simulation engine (virtual clock).
+    n_nodes:
+        Cohort size.
+    model:
+        Failure model; times-to-failure are drawn vectorized.
+    repair_s:
+        Fixed repair (reboot) time; after it elapses a node is up again
+        and re-armed with a freshly drawn time-to-failure.
+    on_fail:
+        Optional callback ``fn(node_ids, fail_times_ns)`` invoked from
+        the dispatcher with the NumPy index array of nodes that just
+        failed and their exact failure times.  This is the promotion
+        hook: a cluster maps fleet indices to real nodes and fail-stops
+        the materialized ones.
+    on_repair:
+        Optional callback ``fn(node_ids)`` when nodes come back up.
+    batch_window_ns:
+        Dispatch quantum.  0 (default) dispatches at exact transition
+        times; a positive window coalesces all transitions inside the
+        same window into one dispatch at the window's end.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        n_nodes: int,
+        model: FailureModel,
+        repair_s: float = 300.0,
+        on_fail: Optional[Callable[[np.ndarray, np.ndarray], None]] = None,
+        on_repair: Optional[Callable[[np.ndarray], None]] = None,
+        batch_window_ns: int = 0,
+    ) -> None:
+        if n_nodes < 1:
+            raise ClusterError("fleet needs at least one node")
+        if repair_s < 0:
+            raise ClusterError("repair time cannot be negative")
+        self.engine = engine
+        self.n_nodes = n_nodes
+        self.model = model
+        self.repair_ns = min(int(repair_s * NS_PER_S), _HORIZON_NS)
+        self.on_fail = on_fail
+        self.on_repair = on_repair
+        self.batch_window_ns = int(batch_window_ns)
+
+        now = engine.now_ns
+        ttf = model.draw_ttf_array(n_nodes)
+        #: Next failure time per node; _NEVER while down or detached.
+        self.fail_at_ns = _abs_times(now, ttf)
+        #: Repair-complete time per node; _NEVER while up.
+        self.repair_at_ns = np.full(n_nodes, _NEVER, dtype=np.int64)
+        #: Down/up state per node.
+        self.down = np.zeros(n_nodes, dtype=bool)
+        #: Detached nodes are no longer driven by the fleet (they were
+        #: promoted to real ClusterNodes, or retired).
+        self.detached = np.zeros(n_nodes, dtype=bool)
+        #: Failures observed per node.
+        self.fail_counts = np.zeros(n_nodes, dtype=np.int64)
+
+        self.failures = 0
+        self.repairs = 0
+        self.downtime_ns = 0
+        self.first_failure_ns: Optional[int] = None
+        self._armed_for = _NEVER
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the dispatcher (idempotent)."""
+        self._running = True
+        self._arm()
+
+    def stop(self) -> None:
+        """Stop driving transitions (arrays keep their state)."""
+        self._running = False
+
+    def detach(self, node_ids) -> None:
+        """Remove nodes from fleet management (promotion hand-off)."""
+        ids = np.asarray(node_ids, dtype=np.int64)
+        self.detached[ids] = True
+        self.fail_at_ns[ids] = _NEVER
+        self.repair_at_ns[ids] = _NEVER
+
+    # ------------------------------------------------------------------
+    def up_count(self) -> int:
+        """Nodes currently up (attached and not in repair)."""
+        return int((~self.down & ~self.detached).sum())
+
+    def down_count(self) -> int:
+        """Nodes currently down for repair."""
+        return int(self.down.sum())
+
+    def next_transition_ns(self) -> int:
+        """Earliest pending failure or repair time (``_NEVER`` if none)."""
+        return int(min(self.fail_at_ns.min(), self.repair_at_ns.min()))
+
+    def time_to_first_failure_s(self) -> float:
+        """Earliest *currently armed* failure, in seconds from now --
+        the system time-to-interrupt for an any-node-fatal job, straight
+        from the pre-sampled arrays (no events needed)."""
+        t = int(self.fail_at_ns.min())
+        if t == _NEVER:
+            raise ClusterError("no armed failures in the fleet")
+        return (t - self.engine.now_ns) / NS_PER_S
+
+    # ------------------------------------------------------------------
+    def _arm(self) -> None:
+        """(Re)schedule the dispatcher for the next pending transition."""
+        if not self._running:
+            return
+        t = self.next_transition_ns()
+        if t == _NEVER:
+            self._armed_for = _NEVER
+            return
+        if self.batch_window_ns:
+            w = self.batch_window_ns
+            t = (t // w + 1) * w
+        # A repair may complete "in the past" of a batched dispatch;
+        # process it now rather than scheduling backwards.
+        now = self.engine.now_ns
+        if t < now:
+            t = now
+        if t == self._armed_for:
+            return  # an event for this instant is already in flight
+        self._armed_for = t
+        self.engine.at_anon(t, self._dispatch)
+
+    def _dispatch(self) -> None:
+        now = self.engine.now_ns
+        if not self._running or now < self._armed_for:
+            # Stale wake-up from a previously armed (earlier) dispatch
+            # whose transitions were already handled, or a stop().
+            return
+        self._armed_for = _NEVER
+
+        # Repairs due: node comes up, downtime accrues exactly, and a
+        # fresh time-to-failure is drawn for the repaired cohort.
+        rep = self.repair_at_ns <= now
+        n_rep = int(rep.sum())
+        if n_rep:
+            self.repairs += n_rep
+            self.downtime_ns += n_rep * self.repair_ns
+            self.down[rep] = False
+            self.repair_at_ns[rep] = _NEVER
+            ttf = self.model.draw_ttf_array(n_rep)
+            self.fail_at_ns[rep] = _abs_times(now, ttf)
+            self.engine.count("fleet.repairs", n_rep)
+            if self.on_repair is not None:
+                self.on_repair(np.nonzero(rep)[0])
+
+        # Failures due: exact times come from the array; the node goes
+        # down and its repair completes repair_ns after the *failure*
+        # (not the dispatch), so batching never stretches downtime.
+        due = self.fail_at_ns <= now
+        n_due = int(due.sum())
+        if n_due:
+            times = self.fail_at_ns[due]
+            if self.first_failure_ns is None:
+                self.first_failure_ns = int(times.min())
+            self.failures += n_due
+            self.fail_counts[due] += 1
+            self.down[due] = True
+            self.fail_at_ns[due] = _NEVER
+            self.repair_at_ns[due] = (
+                np.minimum(times, _NEVER - self.repair_ns) + self.repair_ns
+            )
+            self.engine.count("fleet.failures", n_due)
+            if self.on_fail is not None:
+                self.on_fail(np.nonzero(due)[0], times)
+
+        self._arm()
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<NodeFleet n={self.n_nodes} up={self.up_count()} "
+                f"failures={self.failures}>")

@@ -58,7 +58,12 @@ class Rank:
 
 
 class ParallelJob:
-    """A gang of ranks, placed round-robin over the compute nodes."""
+    """A gang of ranks, placed round-robin over the compute nodes.
+
+    ``node_ids`` places the gang on an explicit set of nodes instead of
+    every compute node -- on a lazy BlueGene/L-scale cluster this is
+    what keeps a 4-rank job from materializing 65,536 kernels.
+    """
 
     def __init__(
         self,
@@ -66,6 +71,7 @@ class ParallelJob:
         workload_factory: Callable[[int], Workload],
         n_ranks: int,
         name: str = "job",
+        node_ids: Optional[List[int]] = None,
     ) -> None:
         if n_ranks < 1:
             raise ClusterError("job needs at least one rank")
@@ -73,7 +79,11 @@ class ParallelJob:
         self.name = name
         self.workload_factory = workload_factory
         self.ranks: List[Rank] = []
-        nodes = [n for n in cluster.compute_nodes() if n.up]
+        if node_ids is not None:
+            nodes = [cluster.node(i) for i in node_ids]
+            nodes = [n for n in nodes if n.up]
+        else:
+            nodes = [n for n in cluster.compute_nodes() if n.up]
         if not nodes:
             raise ClusterError("no healthy compute nodes to place the job on")
         for r in range(n_ranks):

@@ -26,6 +26,7 @@ from ..stablestore import (
 from ..storage import LocalDiskStorage, RemoteStorage
 from ..storage.backends import StorageBackend
 from .failures import FailureModel
+from .fleet import NodeFleet
 
 __all__ = ["NodeState", "ClusterNode", "Cluster"]
 
@@ -112,6 +113,59 @@ class ClusterNode:
         return f"<Node {self.node_id} {self.state.value}>"
 
 
+class _NodeVector:
+    """Lazy node storage for BlueGene/L-scale clusters.
+
+    Behaves like the eager node list for indexing (``cluster.nodes[i]``
+    materializes node ``i`` on first touch) but only ever *iterates*
+    over materialized nodes -- a 65,536-node cluster where a job touches
+    four nodes builds four kernels, not 65,536.  Unmaterialized nodes
+    are implicitly UP; their failure churn belongs to a
+    :class:`NodeFleet` cohort, not to per-node kernels.
+    """
+
+    def __init__(self, cluster: "Cluster", n_total: int) -> None:
+        self._cluster = cluster
+        self._n_total = n_total
+        self._nodes: Dict[int, ClusterNode] = {}
+
+    def __len__(self) -> int:
+        return self._n_total
+
+    def __getitem__(self, node_id: int) -> ClusterNode:
+        if isinstance(node_id, slice):
+            return [self[i] for i in range(*node_id.indices(self._n_total))]
+        if node_id < 0:
+            node_id += self._n_total
+        if not 0 <= node_id < self._n_total:
+            raise IndexError(node_id)
+        node = self._nodes.get(node_id)
+        if node is None:
+            c = self._cluster
+            node = ClusterNode(
+                node_id,
+                c.engine,
+                ncpus=c.ncpus_per_node,
+                costs=c.costs,
+                remote_storage=c.remote_storage,
+            )
+            self._nodes[node_id] = node
+            # Spares live beyond the fleet's compute cohort.
+            if c.fleet is not None and node_id < c.fleet.n_nodes:
+                c.fleet.detach([node_id])
+        return node
+
+    def __iter__(self):
+        """Materialized nodes only, in id order."""
+        return iter(sorted(self._nodes.values(), key=lambda n: n.node_id))
+
+    def materialized(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def materialized_count(self) -> int:
+        return len(self._nodes)
+
+
 class Cluster:
     """A set of nodes sharing one virtual clock plus remote storage.
 
@@ -136,6 +190,14 @@ class Cluster:
         :class:`~repro.stablestore.ContentStore` so byte-identical page
         payloads cost one quorum write per *content*, not per generation
         (experiment E20; service mode only).
+    lazy_nodes:
+        Build :class:`ClusterNode` machines on first touch instead of
+        up front, so a 65,536-node cluster only pays for the nodes a
+        job or failure actually reaches.  Iteration over
+        ``cluster.nodes`` then covers materialized nodes only;
+        unmaterialized nodes are implicitly up, with their failure
+        churn handled by an attached :class:`NodeFleet` cohort (see
+        :meth:`attach_fleet`).
     """
 
     def __init__(
@@ -151,11 +213,16 @@ class Cluster:
         read_quorum: int = 1,
         storage_repair: bool = True,
         content_dedup: bool = False,
+        lazy_nodes: bool = False,
     ) -> None:
         if n_nodes < 1:
             raise ClusterError("cluster needs at least one node")
         self.engine = Engine(seed=seed)
         self.costs = costs
+        self.ncpus_per_node = ncpus_per_node
+        #: Vectorized background-churn cohort (see :meth:`attach_fleet`).
+        self.fleet: Optional[NodeFleet] = None
+        self._promote_on_failure = False
         self.storage_cluster: Optional[StorageCluster] = None
         self.storage_repairer: Optional[ReplicationRepairer] = None
         #: The bare quorum client when the service is on (repair and
@@ -182,16 +249,20 @@ class Cluster:
                 )
         else:
             self.remote_storage = RemoteStorage()
-        self.nodes: List[ClusterNode] = [
-            ClusterNode(
-                i,
-                self.engine,
-                ncpus=ncpus_per_node,
-                costs=costs,
-                remote_storage=self.remote_storage,
-            )
-            for i in range(n_nodes + n_spares)
-        ]
+        if lazy_nodes:
+            self.nodes = _NodeVector(self, n_nodes + n_spares)
+        else:
+            self.nodes = [
+                ClusterNode(
+                    i,
+                    self.engine,
+                    ncpus=ncpus_per_node,
+                    costs=costs,
+                    remote_storage=self.remote_storage,
+                )
+                for i in range(n_nodes + n_spares)
+            ]
+        self.lazy_nodes = lazy_nodes
         self.n_compute = n_nodes
         self._spares: List[int] = list(range(n_nodes, n_nodes + n_spares))
         self._failure_watchers: List[Callable[[ClusterNode], None]] = []
@@ -202,24 +273,43 @@ class Cluster:
         return self.nodes[node_id]
 
     def compute_nodes(self) -> List[ClusterNode]:
-        """The non-spare nodes."""
+        """The non-spare nodes.
+
+        On a lazy cluster this *materializes* every compute node --
+        fine for small N, defeating the point at BlueGene/L scale.
+        Large sweeps should place jobs with explicit ``node_ids`` and
+        leave the rest of the cohort to the fleet.
+        """
         return self.nodes[: self.n_compute]
 
     def up_nodes(self) -> List[ClusterNode]:
-        """Every currently-serving node."""
+        """Every currently-serving node (materialized only, when lazy)."""
         return [n for n in self.nodes if n.up]
+
+    def materialized_nodes(self) -> int:
+        """How many nodes have been built as full machines."""
+        if isinstance(self.nodes, _NodeVector):
+            return self.nodes.materialized_count()
+        return len(self.nodes)
+
+    def _node_up(self, node_id: int) -> bool:
+        """Up-check that does not materialize lazy nodes (an untouched
+        node is implicitly up)."""
+        if isinstance(self.nodes, _NodeVector) and not self.nodes.materialized(node_id):
+            return True
+        return self.nodes[node_id].up
 
     def claim_spare(self) -> ClusterNode:
         """Take a spare for restart placement."""
         while self._spares:
             nid = self._spares.pop(0)
-            if self.nodes[nid].up:
+            if self._node_up(nid):
                 return self.nodes[nid]
         raise ClusterError("no spare nodes available")
 
     def spares_left(self) -> int:
         """Spare nodes still unclaimed and up."""
-        return sum(1 for nid in self._spares if self.nodes[nid].up)
+        return sum(1 for nid in self._spares if self._node_up(nid))
 
     # ------------------------------------------------------------------
     def on_failure(self, fn: Callable[[ClusterNode], None]) -> None:
@@ -260,16 +350,68 @@ class Cluster:
         horizon).  Only the *first* failure per node is armed; repairs
         may re-arm explicitly.
         """
-        ids = node_ids if node_ids is not None else [n.node_id for n in self.compute_nodes()]
+        ids = node_ids if node_ids is not None else list(range(self.n_compute))
+        # One vectorized draw for the whole cohort: identical samples to
+        # the historical per-node loop (the NumPy size-n draw consumes
+        # the stream like n scalar draws), without touching -- or, on a
+        # lazy cluster, materializing -- any node.
+        ttf = model.draw_ttf_array(len(ids))
         scheduled = 0
-        for nid in ids:
-            ttf_s = model.draw_ttf_s()
+        for nid, ttf_s in zip(ids, ttf.tolist()):
             if horizon_s is not None and ttf_s > horizon_s:
                 continue
             delay_ns = int(ttf_s * NS_PER_S)
             self.engine.after(delay_ns, lambda n=nid: self.fail_node(n), label="node-fail")
             scheduled += 1
         return scheduled
+
+    def attach_fleet(
+        self,
+        model: FailureModel,
+        repair_s: float = 300.0,
+        batch_window_ns: int = 0,
+        promote_on_failure: bool = False,
+    ) -> NodeFleet:
+        """Drive compute-node failure churn through a vectorized
+        :class:`NodeFleet` cohort instead of per-node events.
+
+        Nodes already materialized as full machines are detached from
+        the cohort (their failures stay per-node and exact); nodes
+        materialized later detach automatically.  With
+        ``promote_on_failure`` a cohort failure *promotes* the node --
+        it is materialized and fail-stopped for real (watchers fire,
+        ``node_failures`` counts), after which the fleet no longer
+        drives it.  Otherwise cohort failures are statistical only:
+        counted in the fleet's arrays, never building a kernel.
+        """
+        if self.fleet is not None:
+            raise ClusterError("a fleet is already attached")
+        self._promote_on_failure = promote_on_failure
+        self.fleet = NodeFleet(
+            self.engine,
+            self.n_compute,
+            model,
+            repair_s=repair_s,
+            on_fail=self._on_fleet_fail,
+            batch_window_ns=batch_window_ns,
+        )
+        if isinstance(self.nodes, _NodeVector):
+            built = [nid for nid in range(self.n_compute)
+                     if self.nodes.materialized(nid)]
+            if built:
+                self.fleet.detach(built)
+        else:
+            # Eager cluster: every node is a real machine already, so a
+            # fleet only makes sense as a promotion driver.
+            if not promote_on_failure:
+                self.fleet.detach(list(range(self.n_compute)))
+        self.fleet.start()
+        return self.fleet
+
+    def _on_fleet_fail(self, ids, times) -> None:
+        if self._promote_on_failure:
+            for nid in ids.tolist():
+                self.fail_node(nid)
 
     # ------------------------------------------------------------------
     def run_for(self, duration_ns: int) -> None:

@@ -1,0 +1,67 @@
+"""Disk cache for grid-cell results.
+
+One JSON file per cell, named by the cell's cache key (a sha256 over
+the experiment name, canonical params, seed and the *source digest* of
+the module defining the cell function -- edit the experiment code and
+every affected cell recomputes, touch nothing and a re-run is pure
+cache hits).  Writes are atomic (tempfile + rename) so concurrent
+workers and concurrent sweeps can share one cache directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["DiskCache"]
+
+
+class DiskCache:
+    """Content-keyed JSON result cache under one directory."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Cached result for ``key``, or None (corrupt entries miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "r") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return doc
+
+    def put(self, key: str, result: Any) -> None:
+        """Store ``result`` (must be JSON-serializable) atomically."""
+        payload = json.dumps(result, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Drop every cached entry; returns how many were removed."""
+        n = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            n += 1
+        return n

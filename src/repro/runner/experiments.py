@@ -1,0 +1,219 @@
+"""Importable grid-cell functions for the E-series experiment sweeps.
+
+Worker processes re-import these by name, so every cell here is a
+top-level function ``fn(params, seed) -> dict`` returning only
+JSON-serializable data (rendered tables and timelines as strings,
+``repro.obs`` exports as documents).  Each cell builds its own engine
+from its seed: running a cell twice, in any process, yields identical
+bytes -- the property the runner's deterministic merge and the CI
+worker-count smoke rest on.
+
+The E12 cell is the BlueGene/L-scale one: it measures system MTBF with
+a :class:`~repro.cluster.NodeFleet` cohort, so 65,536 nodes cost one
+vectorized draw per trial instead of 65,536 scheduled callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from ..cluster import (
+    CheckpointCoordinator,
+    Cluster,
+    ExponentialFailures,
+    NodeFleet,
+    ParallelJob,
+)
+from ..core.direction import AutonomicCheckpointer
+from ..mechanisms import UCLiK
+from ..obs import export_obs
+from ..reporting import render_replication_table, render_timeline
+from ..simkernel.costs import NS_PER_MS, NS_PER_S
+from ..simkernel.engine import Engine
+from ..workloads import SparseWriter
+
+__all__ = ["e12_mtbf_cell", "e13_survivability_cell", "e19_replication_cell"]
+
+
+def _writer(rank: int) -> SparseWriter:
+    """The standard 2-rank experiment workload."""
+    return SparseWriter(
+        iterations=4000, dirty_fraction=0.03, heap_bytes=512 * 1024,
+        seed=rank, compute_ns=100_000,
+    )
+
+
+# ----------------------------------------------------------------------
+# E12: system MTBF vs machine size, fleet-vectorized
+# ----------------------------------------------------------------------
+def e12_mtbf_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Measure time-to-first-failure for an ``n_nodes`` machine.
+
+    ``n_trials`` distributional trials read the pre-sampled cohort
+    arrays directly; one additional engine-driven run (dispatcher event
+    through the timer wheel) produces the cell's ``repro.obs`` export.
+    """
+    n_nodes = int(params["n_nodes"])
+    node_mtbf_s = float(params["node_mtbf_s"])
+    n_trials = int(params.get("n_trials", 200))
+
+    rng = np.random.default_rng(seed)
+    model = ExponentialFailures(node_mtbf_s, rng=rng)
+    ttfs = []
+    for _ in range(n_trials):
+        eng = Engine(seed=seed)
+        fleet = NodeFleet(eng, n_nodes, model, repair_s=1e12)
+        ttfs.append(fleet.time_to_first_failure_s())
+
+    # One run through the event loop for the observability export.
+    eng = Engine(seed=seed)
+    fleet = NodeFleet(
+        eng, n_nodes,
+        ExponentialFailures(node_mtbf_s, rng=np.random.default_rng(seed)),
+        repair_s=1e12,
+    )
+    fleet.start()
+    eng.run(until=lambda: fleet.failures > 0,
+            until_ns=int(100 * node_mtbf_s * NS_PER_S))
+    return {
+        "n_nodes": n_nodes,
+        "node_mtbf_s": node_mtbf_s,
+        "n_trials": n_trials,
+        "sim_system_mtbf_s": float(np.mean(ttfs)),
+        "analytic_system_mtbf_s": node_mtbf_s / n_nodes,
+        "first_failure_ns": fleet.first_failure_ns,
+        "obs": export_obs(
+            eng.metrics, tracer=eng.tracer,
+            meta={"experiment": "e12", "n_nodes": n_nodes, "seed": seed},
+            now_ns=eng.now_ns,
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# E13: local vs remote checkpoint survivability
+# ----------------------------------------------------------------------
+def e13_survivability_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """One E13 scenario: ``local`` / ``remote`` node-failure runs or the
+    ``reboot`` power-cycle case local storage does handle."""
+    scenario = params["scenario"]
+    if scenario == "reboot":
+        cl = Cluster(n_nodes=1, seed=seed)
+        node = cl.node(0)
+        mech = UCLiK(node.kernel, node.local_storage)
+        wl = _writer(0)
+        task = wl.spawn(node.kernel)
+        cl.run_for(50 * NS_PER_MS)
+        req = mech.request_checkpoint(task)
+        cl.run_for(2 * NS_PER_S)
+        cl.fail_node(0)
+        node.repair(disk_survived=True)
+        mech2 = UCLiK(node.kernel, node.local_storage)
+        res = mech2.restart(req.key)
+        node.kernel.run_until_exit(res.task, limit_ns=10**13)
+        return {
+            "scenario": scenario,
+            "completed": res.task.exit_code == 0,
+            "checkpoint_completed": req.completed_ns is not None,
+            "obs": export_obs(
+                cl.engine.metrics, tracer=cl.engine.tracer,
+                meta={"experiment": "e13", "scenario": scenario, "seed": seed},
+                now_ns=cl.engine.now_ns,
+            ),
+        }
+
+    cl = Cluster(n_nodes=2, n_spares=1, seed=seed)
+    job = ParallelJob(cl, _writer, n_ranks=2, name=scenario)
+    if scenario == "local":
+        mechs = {n.node_id: UCLiK(n.kernel, n.local_storage) for n in cl.nodes}
+    else:
+        mechs = {
+            n.node_id: AutonomicCheckpointer(n.kernel, cl.remote_storage)
+            for n in cl.nodes
+        }
+    coord = CheckpointCoordinator(job, mechs, 30 * NS_PER_MS)
+    coord.start()
+    cl.engine.after(100 * NS_PER_MS, lambda: cl.fail_node(0))
+    done = job.run_to_completion(limit_ns=120 * NS_PER_S)
+    return {
+        "scenario": scenario,
+        "completed": done,
+        "waves": len(coord.waves),
+        "recoveries": coord.recoveries,
+        "unrecoverable": coord.unrecoverable,
+        "obs": export_obs(
+            cl.engine.metrics, tracer=cl.engine.tracer,
+            meta={"experiment": "e13", "scenario": scenario, "seed": seed},
+            now_ns=cl.engine.now_ns,
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# E19: replicated stable storage under storage-server failures
+# ----------------------------------------------------------------------
+def e19_replication_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """One E19 grid cell: a 2-rank coordinated job over the replicated
+    service, ``storage_failures`` injected storage-server failures
+    (each targeting a holder of the latest wave, so the hit is never
+    vacuous), then a compute-node failure."""
+    rf = int(params["rf"])
+    storage_failures = int(params["storage_failures"])
+    repair = bool(params.get("repair", True))
+    interval_ns = int(params.get("interval_ns", 25 * NS_PER_MS))
+
+    cl = Cluster(
+        n_nodes=2, n_spares=2, seed=seed,
+        storage_servers=3, replication=rf, storage_repair=repair,
+    )
+    job = ParallelJob(cl, _writer, n_ranks=2, name=f"rf{rf}")
+    mechs = {
+        n.node_id: AutonomicCheckpointer(n.kernel, n.remote_storage)
+        for n in cl.nodes
+    }
+    coord = CheckpointCoordinator(job, mechs, interval_ns)
+    coord.start()
+    store = cl.remote_storage
+
+    def fail_holder():
+        if not coord.waves:
+            cl.engine.after(10 * NS_PER_MS, fail_holder)
+            return
+        key = next(iter(coord.waves[-1].values()))[0]
+        holders = store.holders(key)
+        if holders:
+            cl.fail_storage_server(holders[0])
+
+    if storage_failures >= 1:
+        cl.engine.after(60 * NS_PER_MS, fail_holder)
+    if storage_failures >= 2:
+        cl.engine.after(140 * NS_PER_MS, fail_holder)
+    cl.engine.after(220 * NS_PER_MS, lambda: cl.fail_node(0))
+    done = job.run_to_completion(limit_ns=120 * NS_PER_S)
+    label = params.get("label", f"rf={rf}, {storage_failures} failures")
+    return {
+        "completed": done,
+        "waves": len(coord.waves),
+        "recoveries": coord.recoveries,
+        "unrecoverable": coord.unrecoverable,
+        "fallbacks": coord.generation_fallbacks,
+        "lost": len(store.lost_keys()),
+        "write_retries": store.write_retries,
+        "backoff_ns": store.backoff_ns_total,
+        "quorum_write_failures": store.quorum_write_failures,
+        "repairs": cl.storage_repairer.repairs_completed
+        if cl.storage_repairer is not None else 0,
+        "timeline": render_timeline(cl.engine),
+        "replication_table": render_replication_table(
+            store, cl.storage_repairer,
+            title=f"Service state after the {label} run",
+        ),
+        "obs": export_obs(
+            cl.engine.metrics, tracer=cl.engine.tracer,
+            meta={"experiment": "e19", "rf": rf,
+                  "storage_failures": storage_failures, "seed": seed},
+            now_ns=cl.engine.now_ns,
+        ),
+    }

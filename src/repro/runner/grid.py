@@ -1,0 +1,182 @@
+"""Sharded grid execution over worker processes.
+
+A grid is a list of :class:`Cell` specs.  Each cell names an
+*importable top-level function* ``fn(params, seed) -> dict`` (workers
+re-import it by module and name, so lambdas and closures are rejected
+up front), a JSON-serializable params mapping and an integer seed.
+Every cell builds its own engine(s) from its seed -- no process-global
+state may leak between cells, which is what makes the merged output
+independent of worker count (see ``benchmarks/perf/check_runner.py``).
+
+Execution shards cache-missing cells across a ``ProcessPoolExecutor``
+(fork where available; a sys.path re-export keeps spawn working) and
+folds results into a deterministic merged document: cells sorted by
+their canonical key, regardless of completion order, serialized with
+the same canonical JSON as ``repro.obs`` exports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import inspect
+import json
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import SimulationError
+from .cache import DiskCache
+from .merge import merge_results
+
+__all__ = ["Cell", "GridRunner", "cache_key"]
+
+
+class RunnerError(SimulationError):
+    """A grid cell was malformed or failed to execute."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (experiment, params, seed) grid point."""
+
+    experiment: str
+    fn: Callable[[Mapping[str, Any], int], Any]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    @property
+    def key(self) -> str:
+        """Canonical sort/merge key (params serialized canonically)."""
+        return json.dumps(
+            {"experiment": self.experiment, "params": dict(self.params),
+             "seed": self.seed},
+            sort_keys=True, separators=(",", ":"),
+        )
+
+    def spec(self) -> Tuple[str, str, Dict[str, Any], int]:
+        """Picklable execution spec (module, name, params, seed)."""
+        return (self.fn.__module__, self.fn.__qualname__,
+                dict(self.params), self.seed)
+
+
+def _source_digest(fn: Callable) -> str:
+    """sha256 of the defining module's source (cache invalidation)."""
+    module = sys.modules.get(fn.__module__)
+    try:
+        src = inspect.getsource(module) if module else ""
+    except (OSError, TypeError):
+        src = ""
+    return hashlib.sha256(src.encode()).hexdigest()
+
+
+def cache_key(cell: Cell) -> str:
+    """Disk-cache key: params + seed + experiment + source digest."""
+    doc = {
+        "experiment": cell.experiment,
+        "fn": f"{cell.fn.__module__}.{cell.fn.__qualname__}",
+        "params": dict(cell.params),
+        "seed": cell.seed,
+        "source": _source_digest(cell.fn),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution (module-level: must be picklable by reference)
+# ----------------------------------------------------------------------
+def _init_worker(paths: List[str]) -> None:
+    """Reproduce the parent's sys.path (needed under spawn)."""
+    for p in reversed(paths):
+        if p not in sys.path:
+            sys.path.insert(0, p)
+
+
+def _exec_spec(spec: Tuple[str, str, Dict[str, Any], int]) -> Any:
+    """Import and run one cell function in the worker process."""
+    module, name, params, seed = spec
+    fn = getattr(importlib.import_module(module), name)
+    return fn(params, seed)
+
+
+class GridRunner:
+    """Shard grid cells over processes; merge deterministically.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes.  1 runs cells inline (no subprocesses) --
+        useful both for debugging and as the determinism reference the
+        CI smoke compares multi-worker output against.
+    cache_dir:
+        Directory for the :class:`DiskCache`; None disables caching.
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache_dir: Optional[Path | str] = None) -> None:
+        if workers < 1:
+            raise RunnerError("need at least one worker")
+        self.workers = workers
+        self.cache: Optional[DiskCache] = (
+            DiskCache(cache_dir) if cache_dir is not None else None
+        )
+        #: Cells recomputed (vs served from cache) on the last run.
+        self.computed = 0
+
+    # ------------------------------------------------------------------
+    def _validate(self, cells: List[Cell]) -> None:
+        seen = set()
+        for cell in cells:
+            if "<" in cell.fn.__qualname__ or "." in cell.fn.__qualname__:
+                raise RunnerError(
+                    f"cell fn {cell.fn.__qualname__!r} must be an importable "
+                    "top-level function (workers re-import it by name)"
+                )
+            if cell.key in seen:
+                raise RunnerError(f"duplicate cell: {cell.key}")
+            seen.add(cell.key)
+
+    def run(self, cells: List[Cell]) -> Dict[str, Any]:
+        """Execute the grid and return the merged document."""
+        cells = list(cells)
+        self._validate(cells)
+        results: Dict[str, Any] = {}
+        pending: List[Cell] = []
+        keys = {cell.key: cache_key(cell) for cell in cells}
+        if self.cache is not None:
+            for cell in cells:
+                hit = self.cache.get(keys[cell.key])
+                if hit is not None:
+                    results[cell.key] = hit
+                else:
+                    pending.append(cell)
+        else:
+            pending = cells
+        self.computed = len(pending)
+
+        if pending:
+            if self.workers == 1:
+                for cell in pending:
+                    results[cell.key] = _exec_spec(cell.spec())
+                    if self.cache is not None:
+                        self.cache.put(keys[cell.key], results[cell.key])
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(list(sys.path),),
+                ) as pool:
+                    futures = {
+                        pool.submit(_exec_spec, cell.spec()): cell
+                        for cell in pending
+                    }
+                    for fut in as_completed(futures):
+                        cell = futures[fut]
+                        results[cell.key] = fut.result()
+                        if self.cache is not None:
+                            self.cache.put(keys[cell.key], results[cell.key])
+
+        return merge_results([(cell, results[cell.key]) for cell in cells])

@@ -1,0 +1,38 @@
+"""Deterministic merge of grid-cell results.
+
+The merged document (``repro.grid/v1``) lists cells sorted by their
+canonical key, so the bytes are a function of the grid's *contents*
+only -- never of completion order, worker count or cache state.  Any
+embedded ``repro.obs`` export is schema-validated on the way through.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..obs import to_json, validate_export
+
+__all__ = ["GRID_SCHEMA", "merge_results", "grid_to_json"]
+
+GRID_SCHEMA = "repro.grid/v1"
+
+
+def merge_results(entries: List[Tuple[Any, Any]]) -> Dict[str, Any]:
+    """Fold ``(cell, result)`` pairs into the merged grid document."""
+    cells = []
+    for cell, result in sorted(entries, key=lambda e: e[0].key):
+        if isinstance(result, dict) and isinstance(result.get("obs"), dict):
+            validate_export(result["obs"])
+        cells.append({
+            "experiment": cell.experiment,
+            "params": dict(cell.params),
+            "seed": cell.seed,
+            "key": cell.key,
+            "result": result,
+        })
+    return {"schema": GRID_SCHEMA, "cells": cells}
+
+
+def grid_to_json(doc: Dict[str, Any]) -> str:
+    """Canonical serialization (same convention as ``repro.obs``)."""
+    return to_json(doc)

@@ -1,20 +1,47 @@
 """Deterministic discrete-event simulation engine.
 
-The engine owns the virtual clock and an event heap.  Everything else in
-the simulated kernel -- scheduler ticks, I/O completions, signal posts,
-node failures -- is expressed as events scheduled here.  Two runs with the
-same seed and the same call sequence produce identical traces; nothing in
-the package reads wall-clock time or unseeded randomness.
+The engine owns the virtual clock and the event schedule.  Everything
+else in the simulated kernel -- scheduler ticks, I/O completions, signal
+posts, node failures -- is expressed as events scheduled here.  Two runs
+with the same seed and the same call sequence produce identical traces;
+nothing in the package reads wall-clock time or unseeded randomness.
 
 Times are integer nanoseconds (see :mod:`repro.simkernel.costs`).
+
+Scheduling data structure (the hot path of every experiment)
+------------------------------------------------------------
+Events are totally ordered by ``(time_ns, seq)`` -- exactly the order
+the original single-``heapq`` implementation produced -- but stored in a
+hybrid structure tuned for the simulation's actual timer mix:
+
+* a **hierarchical timer wheel** (two levels of 256 slots: 131 us and
+  33.5 ms per slot, ~8.6 s total horizon) absorbs the dominant
+  short-horizon timers (scheduler ticks, op completions, I/O, wave
+  polls) with O(1) unsorted inserts;
+* a **far heap** holds events beyond the wheel horizon (node failures
+  hours away, GC sweeps); they cascade into the wheel as the clock
+  approaches;
+* the **current slot** is sorted once and drained by index, with a
+  small side heap absorbing entries that arrive at or before the
+  cursor while it drains (0-delay dispatches), so intra-slot ordering
+  is exact ``(time_ns, seq)`` without a heappop per event.
+
+Entries are plain tuples ``(time_ns, seq, fn, event_or_None)`` --
+comparisons never leave C.  The anonymous fast path
+(:meth:`Engine.after_anon`) skips :class:`Event` allocation entirely for
+fire-and-forget callbacks, and a slab free-list recycles :class:`Event`
+objects for call sites that opt in (``pooled=True``).
+
+Cancelled events no longer linger until their scheduled time: when the
+cancelled fraction of stored entries crosses a threshold the structure
+compacts, so schedule/cancel churn (retry timers, speculative watchers)
+keeps memory and pop cost bounded.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,25 +51,59 @@ from ..obs.metrics import CountersView
 
 __all__ = ["Event", "Engine", "TraceRecord"]
 
+# Timer-wheel geometry.  Level-0 slots are 2**17 ns (131.072 us), level-1
+# slots cover one full level-0 window (2**25 ns, 33.554 ms); with 256
+# slots per level the wheel spans ~8.59 s ahead of the cursor.  Events
+# beyond that live in the far heap.
+_L0_BITS = 17
+_L1_BITS = _L0_BITS + 8
+_SLOTS = 256
+_MASK = _SLOTS - 1
 
-@dataclass(order=True)
+#: Compaction trigger: compact once at least this many cancelled entries
+#: are stored *and* they outnumber the live ones.
+_COMPACT_MIN_CANCELLED = 512
+
+#: Upper bound on the Event slab free-list.
+_POOL_CAP = 4096
+
+
 class Event:
-    """A scheduled callback.  Ordered by (time, sequence) for determinism."""
+    """A scheduled callback, ordered by ``(time_ns, seq)`` for determinism.
 
-    time_ns: int
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: Set once the engine has removed the event from the heap (whether
-    #: it ran or was skipped as cancelled).  Guards the live count:
-    #: cancelling an event that already executed must be a no-op.
-    popped: bool = field(default=False, compare=False)
-    #: Owning engine, so cancellation can keep the live count exact.
-    _engine: Optional["Engine"] = field(default=None, compare=False, repr=False)
+    Only *labelled* schedules (:meth:`Engine.at` / :meth:`Engine.after`)
+    allocate an ``Event``; the anonymous fast path stores a bare tuple.
+    """
+
+    __slots__ = ("time_ns", "seq", "fn", "label", "cancelled", "popped",
+                 "_engine", "_pooled")
+
+    def __init__(
+        self,
+        time_ns: int,
+        seq: int,
+        fn: Callable[[], None],
+        label: str = "",
+        _engine: Optional["Engine"] = None,
+    ) -> None:
+        self.time_ns = time_ns
+        self.seq = seq
+        self.fn = fn
+        self.label = label
+        self.cancelled = False
+        #: Set once the engine has removed the event from the schedule
+        #: (whether it ran or was discarded as cancelled).  Guards the
+        #: live count: cancelling an event that already executed must be
+        #: a no-op.
+        self.popped = False
+        self._engine = _engine
+        #: Slab opt-in: the creator promises to drop its handle once the
+        #: event has fired or been cancelled, so the engine may recycle
+        #: the object.
+        self._pooled = False
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when it is popped.
+        """Mark the event so the engine skips it when it is reached.
 
         Cancelling an event that was already popped (it ran, or it was
         already discarded as cancelled) is a no-op -- in particular it
@@ -51,21 +112,41 @@ class Event:
         if self.cancelled or self.popped:
             return
         self.cancelled = True
-        if self._engine is not None:
-            self._engine._live -= 1
+        eng = self._engine
+        if eng is not None:
+            eng._ndone += 1
+            eng._n_cancelled += 1
+            if (
+                eng._n_cancelled >= _COMPACT_MIN_CANCELLED
+                and eng._n_cancelled > eng._seq - eng._ndone
+            ):
+                eng._compact()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "cancelled " if self.cancelled else ""
+        return f"<Event t={self.time_ns} seq={self.seq} {flags}{self.label!r}>"
 
 
-@dataclass(frozen=True)
+# Tuple layout of a schedule entry.  ``ev`` is None for anonymous events.
+_Entry = Tuple[int, int, Callable[[], None], Optional[Event]]
+
+
 class TraceRecord:
     """One line of the (optional) engine trace, for debugging/analysis."""
 
-    time_ns: int
-    category: str
-    message: str
+    __slots__ = ("time_ns", "category", "message")
+
+    def __init__(self, time_ns: int, category: str, message: str) -> None:
+        self.time_ns = time_ns
+        self.category = category
+        self.message = message
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceRecord({self.time_ns}, {self.category!r}, {self.message!r})"
 
 
 class Engine:
-    """Event heap plus virtual clock.
+    """Hybrid timer wheel + virtual clock.
 
     Parameters
     ----------
@@ -81,11 +162,33 @@ class Engine:
 
     def __init__(self, seed: int = 0, trace: bool = False) -> None:
         self._now_ns: int = 0
-        self._heap: List[Event] = []
-        #: Not-yet-cancelled events in the heap, maintained on
-        #: push/cancel/pop so :meth:`pending` is O(1).
-        self._live: int = 0
-        self._seq = itertools.count()
+        #: Schedules issued so far; doubles as the tiebreak sequence.
+        self._seq: int = 0
+        #: Events no longer live (executed or cancelled).  ``pending()``
+        #: is the O(1) difference ``_seq - _ndone``, so the insert fast
+        #: path touches no extra counter.
+        self._ndone: int = 0
+        #: Cancelled-but-still-stored entries (reaped lazily or at
+        #: compaction).
+        self._n_cancelled: int = 0
+        # --- the hybrid schedule ------------------------------------
+        #: The slot being drained: a sorted list consumed by index, plus
+        #: a side heap for entries that arrive at or before the cursor
+        #: slot while it drains (0-delay dispatches and the like).
+        self._cur: List[_Entry] = []
+        self._cur_idx: int = 0
+        self._side: List[_Entry] = []
+        #: Absolute level-0 slot index of the cursor (== slot of _cur).
+        self._pos: int = 0
+        self._l0: List[List[_Entry]] = [[] for _ in range(_SLOTS)]
+        self._l0_map: int = 0  # bit i set <=> bucket i non-empty
+        self._l1: List[List[_Entry]] = [[] for _ in range(_SLOTS)]
+        self._l1_map: int = 0
+        #: Far-future overflow (beyond the wheel horizon), a tuple heap.
+        self._far: List[_Entry] = []
+        #: Slab free-list of recyclable Event objects.
+        self._pool: List[Event] = []
+        # ------------------------------------------------------------
         self.rng: np.random.Generator = np.random.default_rng(seed)
         self._trace_enabled = trace
         self.trace_log: List[TraceRecord] = []
@@ -125,22 +228,195 @@ class Engine:
         return np.random.default_rng(self.rng.integers(0, 2**63 - 1))
 
     # ------------------------------------------------------------------
-    def at(self, time_ns: int, fn: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``fn`` at absolute virtual time ``time_ns``."""
-        if time_ns < self._now_ns:
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _place(self, entry: _Entry) -> None:
+        """Route an entry into current-slot heap / wheel / far heap."""
+        s = entry[0] >> _L0_BITS
+        d = s - self._pos
+        if d <= 0:
+            heappush(self._side, entry)
+        elif d <= _SLOTS:
+            i = s & _MASK
+            self._l0[i].append(entry)
+            self._l0_map |= 1 << i
+        else:
+            u = entry[0] >> _L1_BITS
+            if u - (self._pos >> 8) < _SLOTS:
+                i = u & _MASK
+                self._l1[i].append(entry)
+                self._l1_map |= 1 << i
+            else:
+                heappush(self._far, entry)
+
+    def at(
+        self,
+        time_ns: int,
+        fn: Callable[[], None],
+        label: str = "",
+        pooled: bool = False,
+    ) -> Event:
+        """Schedule ``fn`` at absolute virtual time ``time_ns``.
+
+        ``pooled=True`` opts the returned :class:`Event` into slab
+        recycling: the caller promises to drop the handle once the event
+        has fired or been cancelled (the engine may then reuse the
+        object for a later schedule).
+        """
+        t = int(time_ns)
+        if t < self._now_ns:
             raise SimulationError(
-                f"cannot schedule event in the past: {time_ns} < {self._now_ns}"
+                f"cannot schedule event in the past: {t} < {self._now_ns}"
             )
-        ev = Event(int(time_ns), next(self._seq), fn, label, _engine=self)
-        heapq.heappush(self._heap, ev)
-        self._live += 1
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time_ns = t
+            ev.seq = seq
+            ev.fn = fn
+            ev.label = label
+            ev.cancelled = False
+            ev.popped = False
+        else:
+            ev = Event(t, seq, fn, label, _engine=self)
+        ev._pooled = pooled
+        self._place((t, seq, fn, ev))
         return ev
 
-    def after(self, delay_ns: int, fn: Callable[[], None], label: str = "") -> Event:
+    def after(
+        self,
+        delay_ns: int,
+        fn: Callable[[], None],
+        label: str = "",
+        pooled: bool = False,
+    ) -> Event:
         """Schedule ``fn`` after ``delay_ns`` nanoseconds."""
         if delay_ns < 0:
             raise SimulationError(f"negative delay: {delay_ns}")
-        return self.at(self._now_ns + int(delay_ns), fn, label)
+        return self.at(self._now_ns + int(delay_ns), fn, label, pooled=pooled)
+
+    def at_anon(self, time_ns: int, fn: Callable[[], None]) -> None:
+        """Anonymous fast path: schedule ``fn`` at ``time_ns`` with no
+        :class:`Event` handle (the event cannot be cancelled or labelled).
+
+        This is the hot path for the simulated kernel's own timers --
+        dispatches, op completions, scheduler ticks -- which are never
+        cancelled and vastly outnumber everything else.
+        """
+        t = int(time_ns)
+        if t < self._now_ns:
+            raise SimulationError(
+                f"cannot schedule event in the past: {t} < {self._now_ns}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        # Inlined _place fast path (short-horizon slots dominate).
+        s = t >> _L0_BITS
+        d = s - self._pos
+        if d <= 0:
+            heappush(self._side, (t, seq, fn, None))
+        elif d <= _SLOTS:
+            i = s & _MASK
+            self._l0[i].append((t, seq, fn, None))
+            self._l0_map |= 1 << i
+        else:
+            u = t >> _L1_BITS
+            if u - (self._pos >> 8) < _SLOTS:
+                i = u & _MASK
+                self._l1[i].append((t, seq, fn, None))
+                self._l1_map |= 1 << i
+            else:
+                heappush(self._far, (t, seq, fn, None))
+
+    def after_anon(self, delay_ns: int, fn: Callable[[], None]) -> None:
+        """Anonymous fast path: schedule ``fn`` after ``delay_ns``."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns}")
+        t = self._now_ns + int(delay_ns)
+        seq = self._seq
+        self._seq = seq + 1
+        s = t >> _L0_BITS
+        d = s - self._pos
+        if d <= 0:
+            heappush(self._side, (t, seq, fn, None))
+        elif d <= _SLOTS:
+            i = s & _MASK
+            self._l0[i].append((t, seq, fn, None))
+            self._l0_map |= 1 << i
+        else:
+            u = t >> _L1_BITS
+            if u - (self._pos >> 8) < _SLOTS:
+                i = u & _MASK
+                self._l1[i].append((t, seq, fn, None))
+                self._l1_map |= 1 << i
+            else:
+                heappush(self._far, (t, seq, fn, None))
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    def events(self) -> Iterator[Event]:
+        """Yield the live *labelled* events currently scheduled.
+
+        Anonymous events have no handle and are not reported.  Debugging
+        aid; order is unspecified.
+        """
+        for entry in self._entries():
+            ev = entry[3]
+            if ev is not None and not ev.cancelled:
+                yield ev
+
+    def _entries(self) -> Iterator[_Entry]:
+        yield from self._cur[self._cur_idx:]
+        yield from self._side
+        for bucket in self._l0:
+            yield from bucket
+        for bucket in self._l1:
+            yield from bucket
+        yield from self._far
+
+    def stored_events(self) -> int:
+        """Entries currently stored, including cancelled ones awaiting
+        reap/compaction (memory-bound diagnostics; O(1))."""
+        return self._seq - self._ndone + self._n_cancelled
+
+    def _release(self, ev: Event) -> None:
+        """Return a pooled Event to the slab."""
+        pool = self._pool
+        if len(pool) < _POOL_CAP:
+            ev.fn = None  # type: ignore[assignment]  # drop the closure
+            pool.append(ev)
+
+    def _compact(self) -> None:
+        """Rebuild the schedule without cancelled entries.
+
+        Triggered when cancelled entries outnumber live ones: long runs
+        that schedule-and-cancel many speculative timers (retry guards,
+        watchdogs) would otherwise accumulate dead entries until their
+        scheduled time arrives.
+        """
+        entries = list(self._entries())
+        self._cur = []
+        self._cur_idx = 0
+        self._side = []
+        self._l0 = [[] for _ in range(_SLOTS)]
+        self._l0_map = 0
+        self._l1 = [[] for _ in range(_SLOTS)]
+        self._l1_map = 0
+        self._far = []
+        place = self._place
+        for entry in entries:
+            ev = entry[3]
+            if ev is not None and ev.cancelled:
+                ev.popped = True
+                if ev._pooled:
+                    self._release(ev)
+                continue
+            place(entry)
+        self._n_cancelled = 0
+        self.metrics.inc("engine.compactions")
 
     # ------------------------------------------------------------------
     def trace(self, category: str, message: str) -> None:
@@ -158,8 +434,75 @@ class Engine:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the heap (O(1))."""
-        return self._live
+        """Number of not-yet-cancelled events scheduled (O(1))."""
+        return self._seq - self._ndone
+
+    # ------------------------------------------------------------------
+    def _refill(self) -> bool:
+        """Advance the cursor to the next slot containing entries and
+        sort it into ``_cur``.  Returns False when nothing is left."""
+        far = self._far
+        while True:
+            pos = self._pos
+            p1 = pos >> 8
+            # Far events whose level-1 slot entered the wheel horizon
+            # cascade in before anything later may be drained.
+            while far and (far[0][0] >> _L1_BITS) - p1 < _SLOTS:
+                self._place(heappop(far))
+            # Next non-empty level-0 slot in the window (pos, pos+256].
+            l0_map = self._l0_map
+            s_a = None
+            if l0_map:
+                start = (pos + 1) & _MASK
+                m = l0_map >> start
+                if m:
+                    bidx = start + ((m & -m).bit_length() - 1)
+                else:
+                    m = l0_map & ((1 << start) - 1)
+                    bidx = (m & -m).bit_length() - 1
+                s_a = pos + 1 + ((bidx - pos - 1) & _MASK)
+            # Next non-empty level-1 bucket in the window (p1, p1+256).
+            l1_map = self._l1_map
+            u_b = None
+            if l1_map:
+                start = (p1 + 1) & _MASK
+                m = l1_map >> start
+                if m:
+                    b1 = start + ((m & -m).bit_length() - 1)
+                else:
+                    m = l1_map & ((1 << start) - 1)
+                    b1 = (m & -m).bit_length() - 1
+                u_b = p1 + 1 + ((b1 - p1 - 1) & _MASK)
+            if u_b is not None and (s_a is None or (u_b << 8) <= s_a):
+                # The level-1 bucket starts at or before the next level-0
+                # slot: cascade it into level-0 first (its entries all
+                # land within the new 256-slot window).
+                self._pos = (u_b << 8) - 1
+                i = u_b & _MASK
+                bucket = self._l1[i]
+                self._l1[i] = []
+                self._l1_map &= ~(1 << i)
+                place = self._place
+                for entry in bucket:
+                    place(entry)
+                continue
+            if s_a is not None:
+                self._pos = s_a
+                i = s_a & _MASK
+                bucket = self._l0[i]
+                self._l0[i] = []
+                self._l0_map &= ~(1 << i)
+                bucket.sort()
+                self._cur = bucket
+                self._cur_idx = 0
+                return True
+            # Both wheel levels empty: jump the cursor toward the far
+            # heap's head so the migration loop above pulls it in.
+            if not far:
+                return False
+            jump = (far[0][0] >> _L0_BITS) - 1
+            if jump > self._pos:
+                self._pos = jump
 
     def run(
         self,
@@ -173,9 +516,10 @@ class Engine:
         ----------
         until_ns:
             Stop once the clock would pass this time (the clock is left at
-            ``until_ns`` if the heap drains or only later events remain).
+            ``until_ns`` if the schedule drains or only later events remain).
         max_events:
-            Safety valve: stop after this many events.
+            Safety valve: stop after this many events.  Cancelled events
+            that are skipped do not count as processed.
         until:
             Predicate evaluated after every event; return true to stop.
 
@@ -186,32 +530,82 @@ class Engine:
         """
         self._stopped = False
         processed = 0
-        while self._heap:
-            if self._stopped:
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            ev = self._heap[0]
-            if ev.cancelled:
-                heapq.heappop(self._heap)
-                ev.popped = True  # _live already dropped at cancel time
-                continue
-            if until_ns is not None and ev.time_ns > until_ns:
-                self._now_ns = max(self._now_ns, int(until_ns))
-                break
-            heapq.heappop(self._heap)
-            ev.popped = True
-            self._live -= 1
-            self._now_ns = ev.time_ns
-            ev.fn()
-            self._events_counter.value += 1
-            processed += 1
-            if until is not None and until():
-                break
-        else:
-            if until_ns is not None:
-                self._now_ns = max(self._now_ns, int(until_ns))
-        return processed
+        # Sentinels let the hot loop test with plain comparisons instead
+        # of None checks: ``processed`` only ever increments by one, so
+        # ``limit == -1`` is never hit; ``inf`` compares fine with ints.
+        limit = -1 if max_events is None else max_events
+        horizon = float("inf") if until_ns is None else int(until_ns)
+        # The engine.events counter is flushed once per run() (in the
+        # finally below) rather than per event; nothing observes it
+        # between events of a single run.
+        try:
+            while True:
+                if self._stopped or processed == limit:
+                    break
+                cur = self._cur
+                i = self._cur_idx
+                side = self._side
+                n = len(cur)
+                if i >= n and not side:
+                    if not self._refill():
+                        if until_ns is not None and self._now_ns < until_ns:
+                            self._now_ns = int(until_ns)
+                        break
+                    continue
+                # Drain the current slot.  ``cur`` never grows (in-slot
+                # arrivals go to ``side``); only _compact() replaces it,
+                # and that is caught by the identity check after each
+                # callback.
+                while True:
+                    if i < n:
+                        entry = cur[i]
+                        if side and side[0] < entry:
+                            entry = heappop(side)
+                        else:
+                            i += 1
+                    elif side:
+                        entry = heappop(side)
+                    else:
+                        self._cur_idx = i
+                        break
+                    ev = entry[3]
+                    if ev is not None and ev.cancelled:
+                        # Reap a cancelled entry: it stopped counting as
+                        # pending at cancel time and does not count as
+                        # processed now.
+                        ev.popped = True
+                        self._n_cancelled -= 1
+                        if ev._pooled:
+                            self._release(ev)
+                        continue
+                    t = entry[0]
+                    if t > horizon:
+                        # Leave it for a later run().
+                        self._cur_idx = i
+                        heappush(side, entry)
+                        if self._now_ns < until_ns:
+                            self._now_ns = int(until_ns)
+                        return processed
+                    self._now_ns = t
+                    self._ndone += 1
+                    if ev is not None:
+                        ev.popped = True
+                        if ev._pooled:
+                            self._release(ev)
+                    # Persist the cursor before the callback: it may
+                    # inspect or compact the schedule (via Event.cancel).
+                    self._cur_idx = i
+                    entry[2]()
+                    processed += 1
+                    if until is not None and until():
+                        return processed
+                    if self._cur is not cur:
+                        break  # compacted mid-callback; resync aliases
+                    if self._stopped or processed == limit:
+                        break
+            return processed
+        finally:
+            self._events_counter.value += processed
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

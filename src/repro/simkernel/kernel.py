@@ -218,7 +218,7 @@ class Kernel:
         """Begin scheduler ticks and dispatch idle CPUs."""
         if not self._tick_started:
             self._tick_started = True
-            self.engine.after(self.costs.tick_ns, self._tick, label="tick")
+            self.engine.after_anon(self.costs.tick_ns, self._tick)
         self._kick()
 
     def run_for(self, duration_ns: int) -> None:
@@ -255,7 +255,7 @@ class Kernel:
         self.scheduler.on_tick()
         self._fire_itimers()
         self._kick()
-        self.engine.after(self.costs.tick_ns, self._tick, label="tick")
+        self.engine.after_anon(self.costs.tick_ns, self._tick)
 
     def halt(self) -> None:
         """Stop issuing ticks (node failure / power-down)."""
@@ -281,7 +281,7 @@ class Kernel:
         """Schedule dispatch on every idle CPU (coalesced per call)."""
         for cpu in self.scheduler.cpus:
             if cpu.current is None:
-                self.engine.after(0, lambda c=cpu: self._dispatch(c), label="dispatch")
+                self.engine.after_anon(0, lambda c=cpu: self._dispatch(c))
 
     def _dispatch(self, cpu: CPU) -> None:
         if self._halted or cpu.current is not None:
@@ -300,7 +300,7 @@ class Kernel:
                 task.mm.total_present_pages(), self.costs.tlb_entries
             )
             self.engine.count("mm_switches")
-        self.engine.after(switch_ns, lambda: self._begin_op(cpu), label="ctxswitch")
+        self.engine.after_anon(switch_ns, lambda: self._begin_op(cpu))
 
     def _preempt(self, cpu: CPU, requeue: bool = True) -> None:
         task = cpu.current
@@ -369,7 +369,7 @@ class Kernel:
         elif isinstance(op, Sleep):
             task.state = TaskState.SLEEPING
             cpu.current = None
-            self.engine.after(int(op.ns), lambda: self._wake(task), label="sleep-wake")
+            self.engine.after_anon(int(op.ns), lambda: self._wake(task))
             self._dispatch(cpu)
             return
 
@@ -388,10 +388,9 @@ class Kernel:
 
         duration += cpu.irq_backlog_ns
         cpu.irq_backlog_ns = 0
-        self.engine.after(
+        self.engine.after_anon(
             max(0, duration),
             lambda: self._complete_op(cpu, task, duration, result, count_main),
-            label="op",
         )
 
     def _complete_op(
@@ -844,11 +843,11 @@ class Kernel:
                 cpu.irq_backlog_ns += self.costs.interrupt_overhead_ns
                 cpu.current.acct.interrupts_absorbed += 1
             gap = max(1, int(rng.exponential(mean_gap_ns)))
-            self.engine.after(gap, lambda: arrival(cpu), label="dev-irq")
+            self.engine.after_anon(gap, lambda: arrival(cpu))
 
         for cpu in self.scheduler.cpus:
             gap = max(1, int(rng.exponential(mean_gap_ns)))
-            self.engine.after(gap, lambda c=cpu: arrival(c), label="dev-irq")
+            self.engine.after_anon(gap, lambda c=cpu: arrival(c))
 
     # ------------------------------------------------------------------
     # Direct kernel-side state access (system-level checkpointers)

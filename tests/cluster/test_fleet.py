@@ -1,0 +1,247 @@
+"""Tests for the vectorized failure cohorts (NodeFleet) and lazy nodes.
+
+The cohort model must agree with the per-node scheduling path -- same
+generator stream, same failure times -- and a lazy cluster must only
+build the machines a job or failure actually touches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ExponentialFailures,
+    NodeFleet,
+    ParallelJob,
+    WeibullFailures,
+)
+from repro.errors import ClusterError
+from repro.simkernel.costs import NS_PER_MS, NS_PER_S
+from repro.simkernel.engine import Engine
+from repro.workloads import SparseWriter
+
+
+def _writer(r):
+    return SparseWriter(iterations=2_000, dirty_fraction=0.05,
+                        heap_bytes=64 * 1024, seed=r)
+
+
+# ----------------------------------------------------------------------
+# Vectorized sampling
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("make", [
+    lambda rng: ExponentialFailures(1000.0, rng=rng),
+    lambda rng: WeibullFailures(1000.0, shape=0.7, rng=rng),
+])
+def test_draw_ttf_array_matches_scalar_stream(make):
+    scalar = make(np.random.default_rng(42))
+    vector = make(np.random.default_rng(42))
+    seq = np.array([scalar.draw_ttf_s() for _ in range(64)])
+    vec = vector.draw_ttf_array(64)
+    assert np.array_equal(seq, vec)
+
+
+def test_base_model_draw_ttf_array_falls_back_to_scalar():
+    class Fixed(ExponentialFailures.__mro__[1]):  # FailureModel
+        def draw_ttf_s(self):
+            return 2.5
+
+    arr = Fixed().draw_ttf_array(5)
+    assert arr.shape == (5,)
+    assert (arr == 2.5).all()
+
+
+# ----------------------------------------------------------------------
+# Cohort vs per-node agreement
+# ----------------------------------------------------------------------
+def test_fleet_first_failures_match_per_node_schedule():
+    """Same seed, same model: the fleet's failure times must equal the
+    times the per-node scheduling path arms (first failure per node)."""
+    n = 32
+    eng_a = Engine(seed=9)
+    per_node = ExponentialFailures(200.0, rng=np.random.default_rng(77))
+    times_a = [int(t * NS_PER_S) for t in per_node.draw_ttf_array(n).tolist()]
+
+    eng_b = Engine(seed=9)
+    fleet = NodeFleet(eng_b, n,
+                      ExponentialFailures(200.0, rng=np.random.default_rng(77)),
+                      repair_s=1e9)  # effectively no repair/re-arm
+    observed = []
+    fleet.on_fail = lambda ids, ts: observed.extend(
+        zip(ids.tolist(), ts.tolist()))
+    fleet.start()
+    eng_b.run(until_ns=int(3600 * NS_PER_S))
+
+    expected = sorted((t, i) for i, t in enumerate(times_a)
+                      if t <= 3600 * NS_PER_S)
+    got = sorted((t, i) for i, t in observed)
+    assert got == expected
+    assert fleet.failures == len(expected)
+
+
+def test_fleet_distribution_agrees_with_analytic_mtbf():
+    """Distribution-level check: mean time to first failure over many
+    trials within 15% of node_mtbf / n."""
+    n, mtbf = 64, 500.0
+    rng = np.random.default_rng(3)
+    draws = []
+    for _ in range(300):
+        eng = Engine()
+        fleet = NodeFleet(
+            eng, n, ExponentialFailures(mtbf, rng=rng), repair_s=1e9)
+        draws.append(fleet.time_to_first_failure_s())
+    sim = float(np.mean(draws))
+    analytic = mtbf / n
+    assert abs(sim - analytic) / analytic < 0.15
+
+
+def test_fleet_repair_cycle_and_accounting():
+    eng = Engine(seed=1)
+    fleet = NodeFleet(eng, 16,
+                      ExponentialFailures(30.0, rng=np.random.default_rng(5)),
+                      repair_s=5.0)
+    fleet.start()
+    eng.run(until_ns=int(300 * NS_PER_S))
+    assert fleet.failures > 0
+    assert fleet.repairs > 0
+    assert fleet.repairs <= fleet.failures
+    assert fleet.downtime_ns == fleet.repairs * fleet.repair_ns
+    assert fleet.down_count() == fleet.failures - fleet.repairs
+    assert fleet.up_count() == 16 - fleet.down_count()
+    assert int(fleet.fail_counts.sum()) == fleet.failures
+    assert fleet.first_failure_ns is not None
+    # Events stayed batched: far fewer engine events than node count
+    # would suggest for this much churn.
+    assert eng.metrics.counter("fleet.failures").value == fleet.failures
+
+
+def test_fleet_same_seed_runs_are_identical():
+    def run():
+        eng = Engine(seed=4)
+        fleet = NodeFleet(
+            eng, 64,
+            ExponentialFailures(50.0, rng=np.random.default_rng(11)),
+            repair_s=10.0)
+        fleet.start()
+        eng.run(until_ns=int(200 * NS_PER_S))
+        return (fleet.failures, fleet.repairs, fleet.first_failure_ns,
+                fleet.fail_counts.tolist())
+
+    assert run() == run()
+
+
+def test_fleet_batch_window_coalesces_dispatches_exact_stats():
+    """A positive batch window must not change failure counts or the
+    exact per-node failure times (only processing instants)."""
+    def run(window):
+        eng = Engine(seed=2)
+        fleet = NodeFleet(
+            eng, 128,
+            ExponentialFailures(20.0, rng=np.random.default_rng(8)),
+            repair_s=1e9, batch_window_ns=window)
+        seen = []
+        fleet.on_fail = lambda ids, ts: seen.extend(ts.tolist())
+        fleet.start()
+        eng.run(until_ns=int(60 * NS_PER_S))
+        return fleet.failures, sorted(seen)
+
+    exact = run(0)
+    batched = run(100 * NS_PER_MS)
+    assert exact == batched
+
+
+def test_fleet_detach_stops_managing_nodes():
+    eng = Engine()
+    fleet = NodeFleet(eng, 8,
+                      ExponentialFailures(10.0, rng=np.random.default_rng(1)),
+                      repair_s=1.0)
+    fleet.detach([0, 1, 2, 3, 4, 5, 6, 7])
+    fleet.start()
+    eng.run(until_ns=int(100 * NS_PER_S))
+    assert fleet.failures == 0
+    assert eng.pending() == 0
+
+
+def test_fleet_rejects_bad_parameters():
+    eng = Engine()
+    with pytest.raises(ClusterError):
+        NodeFleet(eng, 0, ExponentialFailures(10.0))
+    with pytest.raises(ClusterError):
+        NodeFleet(eng, 4, ExponentialFailures(10.0), repair_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Lazy cluster + promotion
+# ----------------------------------------------------------------------
+def test_lazy_cluster_materializes_only_touched_nodes():
+    c = Cluster(n_nodes=65_536, seed=0, lazy_nodes=True)
+    assert len(c.nodes) == 65_536
+    assert c.materialized_nodes() == 0
+    job = ParallelJob(c, _writer, n_ranks=4, node_ids=[0, 1, 2, 3])
+    assert c.materialized_nodes() == 4
+    assert job.run_to_completion(limit_ns=int(3600 * NS_PER_S))
+    assert c.materialized_nodes() == 4
+
+
+def test_lazy_cluster_fleet_churn_with_job():
+    c = Cluster(n_nodes=65_536, seed=0, lazy_nodes=True)
+    job = ParallelJob(c, _writer, n_ranks=4, node_ids=[0, 1, 2, 3])
+    fleet = c.attach_fleet(
+        ExponentialFailures(3600.0, rng=np.random.default_rng(2)),
+        repair_s=300.0)
+    # The job's nodes were already materialized, so the cohort must not
+    # drive them.
+    assert bool(fleet.detached[:4].all())
+    assert job.run_to_completion(limit_ns=int(3600 * NS_PER_S))
+    assert fleet.failures > 0
+    # Statistical failures did not materialize machines.
+    assert c.materialized_nodes() == 4
+
+
+def test_fleet_promotion_materializes_and_fails_node():
+    c = Cluster(n_nodes=1024, n_spares=1, seed=0, lazy_nodes=True)
+    c.attach_fleet(
+        ExponentialFailures(600.0, rng=np.random.default_rng(6)),
+        repair_s=1e6, promote_on_failure=True)
+    failed = []
+    c.on_failure(lambda node: failed.append(node.node_id))
+    c.run_for(int(10 * NS_PER_S))
+    assert failed, "expected at least one promoted failure"
+    assert c.materialized_nodes() >= len(set(failed))
+    for nid in failed:
+        assert not c.node(nid).up
+        assert bool(c.fleet.detached[nid])
+    assert c.engine.metrics.counter("node_failures").value == len(failed)
+
+
+def test_attach_fleet_twice_rejected():
+    c = Cluster(n_nodes=8, seed=0, lazy_nodes=True)
+    c.attach_fleet(ExponentialFailures(100.0))
+    with pytest.raises(ClusterError):
+        c.attach_fleet(ExponentialFailures(100.0))
+
+
+def test_lazy_cluster_spares_and_failures_work():
+    c = Cluster(n_nodes=16, n_spares=2, seed=0, lazy_nodes=True)
+    c.fail_node(3)
+    assert not c.node(3).up
+    spare = c.claim_spare()
+    assert spare.node_id == 16
+    assert c.spares_left() == 1
+    assert c.materialized_nodes() == 2
+
+
+def test_schedule_failures_identical_on_lazy_and_eager_clusters():
+    def first_failure(lazy):
+        c = Cluster(n_nodes=64, seed=5, lazy_nodes=lazy)
+        model = ExponentialFailures(100.0, rng=np.random.default_rng(9))
+        c.schedule_failures(model)
+        c.engine.run(
+            until=lambda: c.engine.counters.get("node_failures", 0) > 0,
+            until_ns=int(3600 * NS_PER_S),
+        )
+        return c.engine.now_ns
+
+    assert first_failure(False) == first_failure(True)

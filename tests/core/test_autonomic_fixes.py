@@ -104,9 +104,7 @@ class TestBoundedParking:
         k.engine.run(until_ns=NS_PER_S)
         # The watcher terminated: no poll event survives the deadline
         # (pre-fix, one was rescheduled every poll interval forever).
-        polls = [
-            e for e in k.engine._heap if not e.cancelled and e.label == "park-poll"
-        ]
+        polls = [e for e in k.engine.events() if e.label == "park-poll"]
         assert polls == []
         assert k.engine.pending() >= 0
         assert t.pid in sp.park_failures

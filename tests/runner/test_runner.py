@@ -1,0 +1,176 @@
+"""Tests for the parallel sharded experiment runner (repro.runner).
+
+The contract under test: a grid's merged document is a pure function of
+its cells -- independent of worker count, completion order, and cache
+state -- and the disk cache only ever serves results whose params, seed
+AND defining source are unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import Cell, DiskCache, GridRunner, cache_key, grid_to_json
+from repro.runner.experiments import e12_mtbf_cell
+from repro.runner.grid import RunnerError
+from repro.runner.merge import GRID_SCHEMA, merge_results
+
+
+# ----------------------------------------------------------------------
+# Top-level cell functions (workers re-import these by name)
+# ----------------------------------------------------------------------
+def square_cell(params, seed):
+    """Trivial deterministic cell used throughout these tests."""
+    return {"value": params["x"] ** 2 + seed}
+
+
+def keyed_cell(params, seed):
+    """Cell echoing its inputs, for merge-order checks."""
+    return {"params": dict(params), "seed": seed}
+
+
+def _grid(n=4, fn=square_cell):
+    return [Cell("toy", fn, {"x": i}, seed=7) for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Cell identity and validation
+# ----------------------------------------------------------------------
+class TestCellKeys:
+    def test_key_is_canonical_json(self):
+        cell = Cell("e", square_cell, {"b": 1, "a": 2}, seed=3)
+        doc = json.loads(cell.key)
+        assert doc == {"experiment": "e", "params": {"a": 2, "b": 1}, "seed": 3}
+        # Key ordering inside params must not matter.
+        other = Cell("e", square_cell, {"a": 2, "b": 1}, seed=3)
+        assert cell.key == other.key
+
+    def test_key_ignores_fn_but_cache_key_does_not(self):
+        a = Cell("e", square_cell, {"x": 1}, seed=0)
+        b = Cell("e", keyed_cell, {"x": 1}, seed=0)
+        assert a.key == b.key
+        assert cache_key(a) != cache_key(b)
+
+    def test_duplicate_cells_rejected(self):
+        cells = [Cell("e", square_cell, {"x": 1}), Cell("e", square_cell, {"x": 1})]
+        with pytest.raises(RunnerError, match="duplicate"):
+            GridRunner().run(cells)
+
+    def test_lambda_cells_rejected(self):
+        with pytest.raises(RunnerError, match="top-level"):
+            GridRunner().run([Cell("e", lambda p, s: {}, {"x": 1})])
+
+    def test_nested_function_cells_rejected(self):
+        def inner(params, seed):
+            return {}
+
+        with pytest.raises(RunnerError, match="top-level"):
+            GridRunner().run([Cell("e", inner, {"x": 1})])
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(RunnerError, match="worker"):
+            GridRunner(workers=0)
+
+
+# ----------------------------------------------------------------------
+# Deterministic merge
+# ----------------------------------------------------------------------
+class TestMerge:
+    def test_merge_sorted_by_key_regardless_of_input_order(self):
+        cells = _grid(5, keyed_cell)
+        fwd = merge_results([(c, {"i": c.params["x"]}) for c in cells])
+        rev = merge_results([(c, {"i": c.params["x"]}) for c in reversed(cells)])
+        assert grid_to_json(fwd) == grid_to_json(rev)
+        assert fwd["schema"] == GRID_SCHEMA
+        keys = [c["key"] for c in fwd["cells"]]
+        assert keys == sorted(keys)
+
+    def test_run_output_independent_of_cell_order(self):
+        doc1 = GridRunner().run(_grid(4))
+        doc2 = GridRunner().run(list(reversed(_grid(4))))
+        assert grid_to_json(doc1) == grid_to_json(doc2)
+
+    def test_merge_validates_embedded_obs(self):
+        from repro.errors import ObservabilityError
+
+        cell = Cell("e", square_cell, {"x": 1})
+        bad = {"obs": {"schema": "repro.obs/v1"}}  # missing required keys
+        with pytest.raises(ObservabilityError):
+            merge_results([(cell, bad)])
+
+
+# ----------------------------------------------------------------------
+# Worker-count independence
+# ----------------------------------------------------------------------
+class TestWorkers:
+    def test_two_workers_match_inline(self):
+        cells = _grid(6)
+        j1 = grid_to_json(GridRunner(workers=1).run(cells))
+        j2 = grid_to_json(GridRunner(workers=2).run(cells))
+        assert j1 == j2
+
+    def test_experiment_cell_matches_across_workers(self):
+        cells = [
+            Cell("e12", e12_mtbf_cell,
+                 {"n_nodes": 64, "node_mtbf_s": 50.0, "n_trials": 5}, seed=12)
+        ]
+        j1 = grid_to_json(GridRunner(workers=1).run(cells))
+        j2 = grid_to_json(GridRunner(workers=2).run(cells))
+        assert j1 == j2
+
+
+# ----------------------------------------------------------------------
+# Disk cache
+# ----------------------------------------------------------------------
+class TestDiskCache:
+    def test_second_run_is_all_hits_and_identical(self, tmp_path):
+        r = GridRunner(cache_dir=tmp_path)
+        doc1 = r.run(_grid(3))
+        assert r.computed == 3
+        doc2 = r.run(_grid(3))
+        assert r.computed == 0
+        assert r.cache.hits == 3
+        assert grid_to_json(doc1) == grid_to_json(doc2)
+
+    def test_cache_shared_between_runner_instances(self, tmp_path):
+        GridRunner(cache_dir=tmp_path).run(_grid(3))
+        r2 = GridRunner(cache_dir=tmp_path)
+        r2.run(_grid(3))
+        assert r2.computed == 0
+
+    def test_new_params_recompute_only_new_cells(self, tmp_path):
+        r = GridRunner(cache_dir=tmp_path)
+        r.run(_grid(3))
+        r.run(_grid(5))
+        assert r.computed == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cell = _grid(1)[0]
+        key = cache_key(cell)
+        cache.put(key, {"v": 1})
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_source_digest_depends_on_module_source(self):
+        # Same function object, so digests agree; a different module's
+        # function yields a different digest component.
+        a = cache_key(Cell("e", square_cell, {"x": 1}))
+        b = cache_key(Cell("e", e12_mtbf_cell, {"x": 1}))
+        assert a != b
+
+    def test_put_then_get_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("k", {"a": [1, 2], "b": "s"})
+        assert cache.get("k") == {"a": [1, 2], "b": "s"}
+        assert cache.clear() == 1
+        assert cache.get("k") is None
+
+    def test_no_cache_recomputes_every_time(self):
+        r = GridRunner()
+        r.run(_grid(2))
+        assert r.computed == 2
+        r.run(_grid(2))
+        assert r.computed == 2
