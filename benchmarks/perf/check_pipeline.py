@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""CI smoke check for the asynchronous C/R I/O pipeline.
+
+Runs the ``pipeline`` microbench scenario (same seeded workload through
+the synchronous drain and the depth-4 COW writeback pipeline, then an
+8-delta-chain restart via serial walk and via parallel prefetch + chain
+compaction) and asserts the PR's acceptance bars with plain stdlib:
+
+* the pipelined capture's per-delta application downtime overlaps at
+  least ``MIN_OVERLAP`` of the synchronous drain's (issue bar: the
+  async drain's downtime is at most half the synchronous one's);
+* restart of the delta chain through prefetch + compaction is at least
+  ``MIN_RESTART_SPEEDUP``x faster than the serial chain walk, and the
+  compacted restore reads a single flat image;
+* the hidden storage wait is still accounted (``storage_delay_ns`` of
+  pipelined requests is positive -- latency moved off the critical
+  path, not out of the books);
+* the backpressure window is honoured: a fresh drain never holds more
+  than ``depth`` unacknowledged extents.
+
+These are virtual-time ratios, so the check is immune to CI runner
+noise.  Exits non-zero with a diagnostic on any violation.
+
+Usage::
+
+    python benchmarks/perf/check_pipeline.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster import Cluster  # noqa: E402
+from repro.core.checkpointer import RequestState  # noqa: E402
+from repro.core.direction import AutonomicCheckpointer  # noqa: E402
+from repro.simkernel.costs import NS_PER_S  # noqa: E402
+from repro.workloads import SparseWriter  # noqa: E402
+
+MIN_OVERLAP = 0.5  # pipelined downtime <= 0.5x the synchronous drain's
+MIN_RESTART_SPEEDUP = 2.0
+N_CHECKPOINTS = 6
+CHAIN_LEN = 9  # 1 full + 8 deltas
+
+
+def build(depth, count, compact=None):
+    cl = Cluster(n_nodes=1, seed=21, storage_servers=3, replication=2)
+    node = cl.node(0)
+    mech = AutonomicCheckpointer(node.kernel, node.remote_storage)
+    mech.pipeline_depth = depth
+    mech.rebase_every = 100
+    mech.compaction_threshold = compact
+    wl = SparseWriter(iterations=30_000, dirty_fraction=0.03,
+                      heap_bytes=256 * 1024, seed=0, compute_ns=100_000)
+    task = wl.spawn(node.kernel)
+    mech.prepare_target(task)
+    last = None
+    for i in range(count):
+        req = mech.request_checkpoint(task)
+        cl.run_until(
+            lambda: req.state in (RequestState.DONE, RequestState.FAILED),
+            240 * NS_PER_S,
+        )
+        if req.state != RequestState.DONE:
+            print(f"FAIL: checkpoint {i} at depth {depth} "
+                  f"did not complete: {req.error}")
+            raise SystemExit(1)
+        last = req
+    return cl, node, mech, last
+
+
+def deltas(mech):
+    return [r for r in mech.completed_requests() if r.image.is_incremental]
+
+
+def main() -> int:
+    status = 0
+
+    _, _, sync_mech, _ = build(1, N_CHECKPOINTS)
+    cl_p, _, pipe_mech, _ = build(4, N_CHECKPOINTS)
+    sync_stall = sum(r.target_stall_ns for r in deltas(sync_mech))
+    pipe_stall = sum(r.target_stall_ns for r in deltas(pipe_mech))
+    overlap = 1.0 - pipe_stall / sync_stall
+    print(f"downtime: sync {sync_stall}ns, pipelined {pipe_stall}ns, "
+          f"overlap {overlap:.2%} (need >= {MIN_OVERLAP:.0%})")
+    if overlap < MIN_OVERLAP:
+        print("FAIL: the pipelined drain does not hide enough of the "
+              "synchronous downtime")
+        status = 1
+
+    hidden = [r.storage_delay_ns for r in deltas(pipe_mech)]
+    if not all(h > 0 for h in hidden):
+        print(f"FAIL: pipelined requests lost their storage accounting: "
+              f"{hidden}")
+        status = 1
+
+    counters = cl_p.engine.metrics.counters()
+    if counters.get("pipeline.extents", 0) <= 0:
+        print("FAIL: no extents went through the writeback pipeline")
+        status = 1
+    inflight = cl_p.engine.metrics.get("pipeline.inflight")
+    if inflight is not None and inflight.max is not None and inflight.max > 4:
+        print(f"FAIL: window exceeded depth 4: {inflight.max} in flight")
+        status = 1
+
+    _, node_s, mech_s, last_s = build(4, CHAIN_LEN)
+    _, serial_ns = mech_s.image_chain(last_s.key, target_kernel=node_s.kernel)
+    _, node_c, mech_c, last_c = build(4, CHAIN_LEN, compact=4)
+    chain_c, compact_ns = mech_c.image_chain(
+        last_c.key, target_kernel=node_c.kernel, prefetch=True
+    )
+    speedup = serial_ns / compact_ns
+    print(f"restart: serial walk {serial_ns}ns, prefetch+compaction "
+          f"{compact_ns}ns, speedup {speedup:.2f}x "
+          f"(need >= {MIN_RESTART_SPEEDUP:.1f}x)")
+    if speedup < MIN_RESTART_SPEEDUP:
+        print("FAIL: chain restart speedup below the acceptance bar")
+        status = 1
+    if len(chain_c) != 1:
+        print(f"FAIL: compacted restore read {len(chain_c)} images, "
+              "expected the single flat blob")
+        status = 1
+
+    print("OK: async pipeline within acceptance bars" if not status
+          else "check_pipeline: FAILED")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

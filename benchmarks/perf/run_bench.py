@@ -500,6 +500,85 @@ def bench_grid_runner(sizes: List[int], node_mtbf_s: float, n_trials: int,
 
 
 # ----------------------------------------------------------------------
+# Asynchronous C/R pipeline: downtime overlap and restart prefetch
+# ----------------------------------------------------------------------
+def bench_pipeline(n_ckpts: int, chain_len: int) -> Dict:
+    """Virtual-time evidence for the asynchronous C/R I/O pipeline.
+
+    Unlike the throughput benches above this one measures *simulated*
+    nanoseconds (the quantity the pipeline optimizes): the same seeded
+    workload is checkpointed through the synchronous drain and through
+    the depth-4 COW writeback pipeline, then an ``chain_len - 1``-delta
+    chain is restarted via the serial walk and via parallel prefetch +
+    chain compaction.  The wall-clock of the pipelined capture run is
+    also recorded so the async machinery's simulator overhead is
+    visible.
+    """
+    from repro.cluster import Cluster
+    from repro.core.checkpointer import RequestState
+    from repro.core.direction import AutonomicCheckpointer
+    from repro.simkernel.costs import NS_PER_S
+    from repro.workloads import SparseWriter
+
+    def build(depth, count, compact=None):
+        cl = Cluster(n_nodes=1, seed=21, storage_servers=3, replication=2)
+        node = cl.node(0)
+        mech = AutonomicCheckpointer(node.kernel, node.remote_storage)
+        mech.pipeline_depth = depth
+        mech.rebase_every = 100
+        mech.compaction_threshold = compact
+        wl = SparseWriter(iterations=30_000, dirty_fraction=0.03,
+                          heap_bytes=256 * 1024, seed=0, compute_ns=100_000)
+        task = wl.spawn(node.kernel)
+        mech.prepare_target(task)
+        last = None
+        for i in range(count):
+            req = mech.request_checkpoint(task)
+            cl.run_until(
+                lambda: req.state in (RequestState.DONE, RequestState.FAILED),
+                240 * NS_PER_S,
+            )
+            assert req.state == RequestState.DONE, (depth, i, req.error)
+            last = req
+        return cl, node, mech, last
+
+    def mean_delta_stall(mech) -> float:
+        deltas = [r for r in mech.completed_requests()
+                  if r.image.is_incremental]
+        return sum(r.target_stall_ns for r in deltas) / len(deltas)
+
+    _, _, sync_mech, _ = build(1, n_ckpts)
+    t0 = time.perf_counter()
+    _, _, pipe_mech, _ = build(4, n_ckpts)
+    pipelined_wall_s = time.perf_counter() - t0
+
+    sync_stall = mean_delta_stall(sync_mech)
+    pipe_stall = mean_delta_stall(pipe_mech)
+
+    _, node_s, mech_s, last_s = build(4, chain_len)
+    _, serial_ns = mech_s.image_chain(last_s.key, target_kernel=node_s.kernel)
+    _, node_c, mech_c, last_c = build(4, chain_len, compact=4)
+    chain_c, compact_ns = mech_c.image_chain(
+        last_c.key, target_kernel=node_c.kernel, prefetch=True
+    )
+
+    return {
+        "checkpoints": n_ckpts,
+        "chain_len": chain_len,
+        "depth": 4,
+        "downtime_sync_ns": round(sync_stall),
+        "downtime_pipelined_ns": round(pipe_stall),
+        "downtime_ratio": round(pipe_stall / sync_stall, 3),
+        "overlap": round(1.0 - pipe_stall / sync_stall, 3),
+        "restart_serial_ns": serial_ns,
+        "restart_prefetch_compact_ns": compact_ns,
+        "restart_speedup": round(serial_ns / compact_ns, 2),
+        "images_read_compacted": len(chain_c),
+        "pipelined_capture_wall_s": round(pipelined_wall_s, 4),
+    }
+
+
+# ----------------------------------------------------------------------
 def run(repeats: int) -> Dict:
     """Run every microbench and return the BENCH_PERF document."""
     return {
@@ -513,6 +592,7 @@ def run(repeats: int) -> Dict:
             sizes=[1024, 4096, 16384], node_mtbf_s=50.0, n_trials=10,
             repeats=max(1, repeats // 2),
         ),
+        "pipeline": bench_pipeline(n_ckpts=6, chain_len=9),
     }
 
 
@@ -532,6 +612,15 @@ def check_regression(current: Dict, baseline_path: Path, max_regression: float) 
         guarded.append(("grid_runner sweep speedup",
                         baseline["grid_runner"]["speedup_cold"],
                         current["grid_runner"]["speedup_cold"]))
+    if "pipeline" in baseline:
+        # Virtual-time ratios: immune to runner noise, so any drift here
+        # is a real behavior change in the async pipeline.
+        guarded.append(("pipeline restart speedup",
+                        baseline["pipeline"]["restart_speedup"],
+                        current["pipeline"]["restart_speedup"]))
+        guarded.append(("pipeline downtime overlap",
+                        baseline["pipeline"]["overlap"],
+                        current["pipeline"]["overlap"]))
     status = 0
     for name, base, cur in guarded:
         ratio = base / max(cur, 1e-9)

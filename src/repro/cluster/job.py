@@ -184,15 +184,19 @@ class CheckpointCoordinator:
         mechanisms: Dict[int, Checkpointer],
         interval_ns: int,
         keep_waves: int = 0,
+        restore_prefetch: bool = False,
     ) -> None:
         """``keep_waves`` > 0 enables garbage collection: once a newer
         wave is durable, waves older than the last ``keep_waves`` are
         deleted from stable storage (checkpoints accumulate fast at
-        short intervals; real systems keep one or two generations)."""
+        short intervals; real systems keep one or two generations).
+        ``restore_prefetch`` fetches each rank's delta chain in parallel
+        at recovery instead of walking it serially."""
         self.job = job
         self.mechanisms = mechanisms
         self.interval_ns = int(interval_ns)
         self.keep_waves = int(keep_waves)
+        self.restore_prefetch = bool(restore_prefetch)
         #: Complete waves: list of dicts rank_index -> (image key, step).
         self.waves: List[Dict[int, str]] = []
         self.waves_pruned = 0
@@ -352,7 +356,11 @@ class CheckpointCoordinator:
                             break
                     if key is None:
                         raise ClusterError(f"no wave covers rank {rank.index}")
-                res = mech.restart(key, target_kernel=target.kernel)
+                res = mech.restart(
+                    key,
+                    target_kernel=target.kernel,
+                    prefetch=self.restore_prefetch,
+                )
                 rank.node = target
                 rank.task = res.task
         except (StorageLostError, ClusterError):

@@ -42,6 +42,7 @@ __all__ = [
     "user_extract_metadata",
     "select_pages",
     "copy_pages",
+    "capture_extents",
     "store_image",
     "load_image",
     "RestoreResult",
@@ -235,6 +236,38 @@ def copy_pages(
             image.add_extent(vma_name, start, vma.read_pages(start, npages), npages)
         for _ in range(npages):
             yield ops.Compute(ns=per_page_ns)
+
+
+def capture_extents(
+    kernel: Kernel,
+    target: Task,
+    image: CheckpointImage,
+    pages: Sequence[Tuple[str, int]],
+) -> Generator:
+    """Like :func:`copy_pages`, but yields ``(chunk, copy_cost_ns)``.
+
+    The pipelined COW drain needs the chunk *object* as soon as its
+    memcpy finishes so it can hand the extent to the writeback pipeline
+    and copy the next one while the bytes are on the wire.  The virtual
+    cost is identical to :func:`copy_pages` (one page-memcpy per page,
+    charged per extent); the caller yields the Compute op itself, then
+    submits the chunk.
+    """
+    page_size = kernel.costs.page_size
+    per_page_ns = kernel.costs.memcpy_ns(page_size)
+    if pages:
+        metrics = kernel.engine.metrics
+        metrics.inc("capture.pages", len(pages))
+        metrics.inc("capture.bytes", len(pages) * page_size)
+    for vma_name, start, npages in _extent_runs(pages):
+        vma = target.mm.vma(vma_name)
+        if npages == 1:
+            chunk = image.add_page(vma_name, start, vma.read_page(start))
+        else:
+            chunk = image.add_extent(
+                vma_name, start, vma.read_pages(start, npages), npages
+            )
+        yield chunk, per_page_ns * npages
 
 
 #: Stores are issued in slices of roughly this much virtual time so the

@@ -124,6 +124,12 @@ class Checkpointer:
         self.requests: List[CheckpointRequest] = []
         #: key -> image for chain bookkeeping (images live in storage too).
         self._last_key_for_pid: Dict[int, str] = {}
+        #: chain tip key -> materialized flat image (memo: multi-rank
+        #: restart_job re-flattens the identical chain per rank otherwise;
+        #: wall-clock only, I/O is still charged per restart).
+        self._flat_cache: Dict[str, CheckpointImage] = {}
+        #: chain tip key -> key of its compacted flat image on storage.
+        self._flat_alias: Dict[str, str] = {}
         self.installed = False
         self.install()
         self.installed = True
@@ -223,6 +229,8 @@ class Checkpointer:
             metrics.observe("storage.commit_ns", req.storage_delay_ns)
         if req.span is not None:
             req.span.end(state="done", image_bytes=image.size_bytes)
+        if self.compaction_threshold is not None:
+            self.maybe_compact(image)
 
     def _fail(self, req: CheckpointRequest, message: str) -> None:
         req.state = RequestState.FAILED
@@ -239,6 +247,12 @@ class Checkpointer:
     restores_pid: bool = False
     virtualizes_resources: bool = False
     rescues_deleted_files: bool = False
+    #: Flatten delta chains once they reach this many images into a
+    #: cached flat blob beside the tip (bounding restart latency and
+    #: chain_chunks); None disables compaction.
+    compaction_threshold: Optional[int] = None
+    #: Entries kept in the materialize memo before the oldest is evicted.
+    _FLAT_CACHE_MAX = 16
 
     def chain_available(self, key: str) -> bool:
         """Whether ``key`` and its whole base+delta ancestry are readable.
@@ -246,8 +260,12 @@ class Checkpointer:
         A pure availability probe (no I/O is charged): restart policies
         use it to pick the newest checkpoint *generation* whose chain
         survives the current storage failures before committing to a
-        restore.
+        restore.  A surviving compacted flat image also satisfies the
+        probe -- restart will read it instead of the chain.
         """
+        alias = self._flat_alias.get(key)
+        if alias is not None and self.storage.exists(alias):
+            return True
         k: Optional[str] = key
         while k is not None:
             if not self.storage.exists(k):
@@ -259,9 +277,49 @@ class Checkpointer:
             k = getattr(image, "parent_key", None)
         return True
 
-    def image_chain(self, key: str, target_kernel: Optional[Kernel] = None):
-        """Fetch the full-image + delta chain ending at ``key``."""
+    def _chain_keys(self, key: str) -> List[str]:
+        """Tip-first key list of ``key``'s ancestry (I/O-free peek walk)."""
+        keys: List[str] = []
+        k: Optional[str] = key
+        while k is not None:
+            keys.append(k)
+            k = getattr(self.storage.peek(k), "parent_key", None)
+        return keys
+
+    def image_chain(
+        self,
+        key: str,
+        target_kernel: Optional[Kernel] = None,
+        prefetch: bool = False,
+    ):
+        """Fetch the full-image + delta chain ending at ``key``.
+
+        ``prefetch`` fans the fetches out at one virtual instant through
+        the backend's :meth:`load_parallel` (total delay = slowest fetch
+        instead of the serial walk's sum).  When a compacted flat image
+        of this tip survives on storage, both modes read that single
+        blob instead of the chain.
+        """
         kernel = target_kernel or self.kernel
+        alias = self._flat_alias.get(key)
+        if alias is not None and self.storage.exists(alias):
+            image, delay = load_image(kernel, self.storage, alias)
+            kernel.engine.metrics.inc("restart.compacted_hits")
+            return [image], delay
+        if prefetch and hasattr(self.storage, "load_parallel"):
+            keys = self._chain_keys(key)
+            objs, total_delay = self.storage.load_parallel(
+                keys, kernel.engine.now_ns
+            )
+            chain = []
+            for k in keys:
+                img = objs[k]
+                if not isinstance(img, CheckpointImage):
+                    raise RestartError(f"blob {k!r} is not a checkpoint image")
+                chain.append(img)
+            chain.reverse()
+            kernel.engine.metrics.inc("restart.prefetched_chains")
+            return chain, total_delay
         chain: List[CheckpointImage] = []
         total_delay = 0
         k: Optional[str] = key
@@ -273,16 +331,79 @@ class Checkpointer:
         chain.reverse()
         return chain, total_delay
 
+    def _materialize(self, key: str, chain: List[CheckpointImage]) -> CheckpointImage:
+        """Memoized chain flatten: one overlay pass per chain tip.
+
+        Multi-rank ``restart_job`` restores the same generation once per
+        rank; the chain behind one tip key is immutable, so the flatten
+        result is reused (virtual-time I/O is still charged per restart
+        by :meth:`image_chain` -- the memo saves wall-clock only).
+        """
+        flat = self._flat_cache.get(key)
+        if flat is None:
+            flat = materialize_chain(chain, page_size=self.kernel.costs.page_size)
+            if len(self._flat_cache) >= self._FLAT_CACHE_MAX:
+                self._flat_cache.pop(next(iter(self._flat_cache)))
+            self._flat_cache[key] = flat
+        return flat
+
+    def maybe_compact(self, image: CheckpointImage) -> Optional[str]:
+        """Flatten ``image``'s chain into a stored flat blob if too deep.
+
+        Runs after a delta completes when :attr:`compaction_threshold`
+        is set: the chain is prefetched in parallel, flattened, and the
+        flat image stored under ``<tip>+flat`` (a key shape generation
+        GC never parses, so only this policy manages it).  Future
+        restarts of the tip read the single flat blob.  Returns the flat
+        key, or None when no compaction happened.
+        """
+        if self.compaction_threshold is None or not image.is_incremental:
+            return None
+        try:
+            keys = self._chain_keys(image.key)
+        except StorageError:
+            return None
+        if len(keys) < self.compaction_threshold:
+            return None
+        engine = self.kernel.engine
+        span = engine.tracer.start_span(
+            "compaction", key=image.key, depth=len(keys)
+        )
+        try:
+            chain, _ = self.image_chain(image.key, prefetch=True)
+            flat = self._materialize(image.key, chain)
+            self.storage.store(flat.key, flat, flat.size_bytes, engine.now_ns)
+        except (StorageError, RestartError) as exc:
+            span.end(state="failed", error=str(exc))
+            return None
+        # Hygiene: drop flats whose tips are gone (pruned generations)
+        # and flats for ancestors of this tip -- the newest flat on a
+        # chain subsumes the older ones, which no restart will pick.
+        ancestors = set(keys[1:])
+        stale = [
+            t for t in self._flat_alias
+            if t in ancestors or not self.storage.exists(t)
+        ]
+        for tip in stale:
+            self.storage.delete(self._flat_alias.pop(tip))
+        self._flat_alias[image.key] = flat.key
+        engine.metrics.inc("compaction.runs")
+        engine.metrics.observe("compaction.chunks", len(flat.chunks))
+        span.end(state="done", flat_key=flat.key, chunks=len(flat.chunks))
+        return flat.key
+
     def restart(
         self,
         key: str,
         target_kernel: Optional[Kernel] = None,
         strict_kernel_state: bool = True,
+        prefetch: bool = False,
     ) -> RestoreResult:
         """Restart the process checkpointed under ``key``.
 
         ``target_kernel`` may be a different node -- that is the whole
-        point of remote stable storage.  Raises
+        point of remote stable storage.  ``prefetch`` fetches the parent
+        chain in parallel instead of walking it serially.  Raises
         :class:`~repro.errors.IncompatibleStateError` when the image
         needs kernel-persistent state this mechanism cannot recreate.
         """
@@ -292,11 +413,11 @@ class Checkpointer:
             "restart", mechanism=self.mech_name, key=key, node=kernel.node_id
         )
         try:
-            chain, io_delay = self.image_chain(key, kernel)
+            chain, io_delay = self.image_chain(key, kernel, prefetch=prefetch)
             image = (
                 chain[0]
                 if len(chain) == 1
-                else materialize_chain(chain, page_size=kernel.costs.page_size)
+                else self._materialize(key, chain)
             )
             result = restore_image(
                 kernel,

@@ -24,6 +24,8 @@ from typing import Generator, List, Optional, Sequence, Tuple
 
 from ...core.capture import (
     DEFAULT_SKIP_KINDS,
+    STORE_SLICE_NS,
+    capture_extents,
     copy_pages,
     select_pages,
     snapshot_metadata,
@@ -42,6 +44,12 @@ class SystemLevelCheckpointer(Checkpointer):
 
     #: VMA kinds excluded from images when ``features.data_filtering``.
     skip_kinds = DEFAULT_SKIP_KINDS
+
+    #: In-flight window of the asynchronous COW writeback pipeline.
+    #: 1 (the default) keeps the surveyed synchronous capture shapes
+    #: bit-for-bit; > 1 switches kernel-thread captures to
+    #: :meth:`kthread_capture_pipelined`.
+    pipeline_depth: int = 1
 
     # ------------------------------------------------------------------
     def arm_incremental(self, task: Task) -> int:
@@ -199,6 +207,135 @@ class SystemLevelCheckpointer(Checkpointer):
                 if destroy_capture_source and capture_mm_of is not None:
                     kernel._exit_task(capture_mm_of, code=0)
                     kernel.reap(capture_mm_of)
+                if store_error is not None:
+                    self._fail(req, f"stable-storage write failed: {store_error}")
+                    return
+                self._complete(req, image)
+
+            return gen()
+
+        return kernel.spawn_kthread(
+            f"k{self.mech_name.lower()}/{req.key.rsplit('/', 1)[-1]}",
+            prog,
+            policy=policy,
+            rt_prio=rt_prio,
+        )
+
+    # ------------------------------------------------------------------
+    def kthread_capture_pipelined(
+        self,
+        target: Task,
+        req: CheckpointRequest,
+        pipeline_depth: int = 4,
+        policy: SchedPolicy = SchedPolicy.FIFO,
+        rt_prio: int = 50,
+        defer_irqs: bool = False,
+        rearm: bool = False,
+    ) -> Task:
+        """Fork/COW capture draining through the writeback pipeline.
+
+        The application's stall is the fork (plus the incremental
+        re-arm) instead of the whole frozen copy: a COW child snapshots
+        the address space, the target resumes immediately, and the
+        kernel thread drains the child's extents through a bounded
+        :class:`~repro.stablestore.WritebackPipeline` -- each extent's
+        memcpy overlaps the quorum write of the previous ones, so the
+        only storage waits on the drain's critical path are window
+        backpressure and the commit barrier.
+
+        ``pipeline_depth <= 1`` delegates to :meth:`kthread_capture`
+        verbatim, so the synchronous seed path stays bit-compatible.
+        """
+        if pipeline_depth <= 1:
+            return self.kthread_capture(
+                target,
+                req,
+                stop_target=True,
+                policy=policy,
+                rt_prio=rt_prio,
+                defer_irqs=defer_irqs,
+                rearm=rearm,
+            )
+        from ...stablestore.pipeline import WritebackPipeline
+
+        kernel = self.kernel
+
+        def prog(kt: Task, step: int) -> Generator:
+            def gen():
+                req.state = RequestState.RUNNING
+                req.started_ns = kernel.engine.now_ns
+                kernel.engine.metrics.inc("capture.pipelined_captures")
+                if defer_irqs:
+                    kernel.disable_irqs_for(kt)
+                if not target.alive():
+                    if defer_irqs:
+                        kernel.enable_irqs_for(kt)
+                    self._fail(req, f"target pid {target.pid} exited before capture")
+                    return
+                # Freeze window: the COW fork snapshots the address
+                # space atomically; the target is runnable again the
+                # moment the fork cost has been paid.
+                child, fork_cost = kernel.do_fork(target, stopped=True)
+                pages = self._page_set(child, req.incremental)
+                rearm_now = rearm and self.features.incremental
+                if rearm_now:
+                    # Re-arm dirty tracking at the fork instant (the
+                    # child holds this interval's dirty set), so pages
+                    # the target touches during the drain land in the
+                    # *next* delta instead of being lost.
+                    self.arm_incremental(target)
+                yield ops.Compute(ns=fork_cost)
+                if rearm_now:
+                    yield ops.Compute(ns=30 * len(pages) + 1_000)
+                req.target_stall_ns = kernel.engine.now_ns - req.started_ns
+                kernel.engine.tracer.record(
+                    "checkpoint.freeze",
+                    req.started_ns,
+                    kernel.engine.now_ns,
+                    pid=target.pid,
+                    key=req.key,
+                )
+                attach_ns = kernel.kthread_attach_mm(kt, child)
+                if attach_ns:
+                    yield ops.Compute(ns=attach_ns)
+                image = self._new_image(req, target)
+                snapshot_metadata(kernel, target, image)
+                yield ops.Compute(ns=2_000)
+                store_error: Optional[str] = None
+                pipe = None
+                try:
+                    pipe = WritebackPipeline(
+                        self.storage, kernel.engine, req.key, depth=pipeline_depth
+                    )
+                    for chunk, copy_ns in capture_extents(kernel, child, image, pages):
+                        yield ops.Compute(ns=copy_ns)
+                        stall = pipe.ns_until_slot()
+                        if stall > 0:
+                            yield ops.Sleep(ns=stall)
+                        pipe.submit(chunk)
+                    barrier = pipe.barrier_ns()
+                    if barrier > 0:
+                        yield ops.Sleep(ns=barrier)
+                    image.time_ns = kernel.engine.now_ns
+                    commit_delay = pipe.commit(image, image.size_bytes)
+                    kernel.engine.metrics.inc("storage.images_stored")
+                    kernel.engine.metrics.observe("storage.store_ns", commit_delay)
+                    # Client-visible storage wait: backpressure stalls +
+                    # the commit barrier + the manifest write -- the
+                    # part the pipeline could NOT hide behind copying.
+                    req.storage_delay_ns = pipe.stall_ns + barrier + commit_delay
+                    while commit_delay > 0:
+                        slice_ns = min(commit_delay, STORE_SLICE_NS)
+                        commit_delay -= slice_ns
+                        yield ops.Compute(ns=slice_ns)
+                except StorageError as exc:
+                    store_error = str(exc)
+                    if pipe is not None:
+                        pipe.abort(store_error)
+                if defer_irqs:
+                    kernel.enable_irqs_for(kt)
+                kernel._exit_task(child, code=0)
+                kernel.reap(child)
                 if store_error is not None:
                     self._fail(req, f"stable-storage write failed: {store_error}")
                     return

@@ -85,6 +85,13 @@ class CheckpointMT(SystemLevelCheckpointer):
     ) -> CheckpointRequest:
         """Model the application invoking the syscall now (see VMADump)."""
         req = self._new_request(task, incremental)
+        if self.pipeline_depth > 1:
+            # The pipelined capture performs the fork itself and drains
+            # the frozen child through the writeback pipeline.
+            self.kthread_capture_pipelined(
+                task, req, pipeline_depth=self.pipeline_depth
+            )
+            return req
         child, fork_cost = self.kernel.do_fork(task, stopped=True)
         # Charge the fork to the target as a stall (it executed the call).
         req.target_stall_ns = fork_cost

@@ -93,15 +93,26 @@ class CRAK(SystemLevelCheckpointer):
             incremental = bool(arg.get("incremental", False)) if isinstance(arg, dict) else False
             target = self.kernel.task_by_pid(pid)
             req = self._new_request(target, incremental)
-            self.kthread_capture(
-                target,
-                req,
-                stop_target=True,
-                policy=self.kthread_policy,
-                rt_prio=self.kthread_rt_prio,
-                defer_irqs=self.defer_irqs,
-                rearm=incremental or self.features.incremental,
-            )
+            if self.pipeline_depth > 1:
+                self.kthread_capture_pipelined(
+                    target,
+                    req,
+                    pipeline_depth=self.pipeline_depth,
+                    policy=self.kthread_policy,
+                    rt_prio=self.kthread_rt_prio,
+                    defer_irqs=self.defer_irqs,
+                    rearm=incremental or self.features.incremental,
+                )
+            else:
+                self.kthread_capture(
+                    target,
+                    req,
+                    stop_target=True,
+                    policy=self.kthread_policy,
+                    rt_prio=self.kthread_rt_prio,
+                    defer_irqs=self.defer_irqs,
+                    rearm=incremental or self.features.incremental,
+                )
             return req
         raise CheckpointError(f"{self.mech_name}: unknown ioctl {cmd!r}")
 

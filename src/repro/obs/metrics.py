@@ -28,6 +28,7 @@ __all__ = [
     "TIME_NS_BUCKETS",
     "BYTES_BUCKETS",
     "GENERIC_BUCKETS",
+    "DEPTH_BUCKETS",
 ]
 
 #: Virtual-time buckets: 1us .. 100s in decades (values in ns).
@@ -55,6 +56,10 @@ BYTES_BUCKETS: Tuple[int, ...] = (
 
 #: Fallback for dimensionless histograms: powers of ten.
 GENERIC_BUCKETS: Tuple[int, ...] = (1, 10, 100, 1_000, 10_000, 100_000, 1_000_000)
+
+#: Small-cardinality occupancy buckets for queue/pipeline depths
+#: (``*_depth`` / ``*_inflight``): window sizes live in 1..~100.
+DEPTH_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
 class Counter:
@@ -162,6 +167,8 @@ def default_buckets(name: str) -> Tuple[Union[int, float], ...]:
         return TIME_NS_BUCKETS
     if name.endswith("bytes") or name.endswith("_bytes"):
         return BYTES_BUCKETS
+    if name.endswith("_depth") or name.endswith("_inflight"):
+        return DEPTH_BUCKETS
     return GENERIC_BUCKETS
 
 

@@ -25,7 +25,7 @@ Quick start::
 
 from . import ops
 from .costs import CostModel, DEFAULT_COSTS, NS_PER_MS, NS_PER_S, NS_PER_US
-from .engine import Engine
+from .engine import Completion, Engine
 from .kernel import Kernel
 from .memory import AddressSpace, PageFlag, Prot, VMA, VMAKind
 from .modules import KernelModule, install_static
@@ -49,6 +49,7 @@ __all__ = [
     "NS_PER_US",
     "NS_PER_MS",
     "NS_PER_S",
+    "Completion",
     "Engine",
     "Kernel",
     "AddressSpace",

@@ -49,7 +49,7 @@ from ..errors import SimulationError
 from ..obs import MetricsRegistry, Tracer
 from ..obs.metrics import CountersView
 
-__all__ = ["Event", "Engine", "TraceRecord"]
+__all__ = ["Event", "Completion", "Engine", "TraceRecord"]
 
 # Timer-wheel geometry.  Level-0 slots are 2**17 ns (131.072 us), level-1
 # slots cover one full level-0 window (2**25 ns, 33.554 ms); with 256
@@ -129,6 +129,52 @@ class Event:
 
 # Tuple layout of a schedule entry.  ``ev`` is None for anonymous events.
 _Entry = Tuple[int, int, Callable[[], None], Optional[Event]]
+
+
+class Completion:
+    """A one-shot virtual-time completion token (an I/O future).
+
+    The asynchronous checkpoint/restart pipeline posts these for every
+    in-flight transfer: the issuer knows the deterministic completion
+    time from the device model, schedules the token on the timer wheel
+    (:meth:`Engine.completion`), and consumers attach callbacks instead
+    of blocking a task context for the whole transfer latency.
+
+    Callbacks added *after* the token resolved fire immediately (at the
+    current virtual time), so late subscribers never deadlock.
+    """
+
+    __slots__ = ("engine", "done", "value", "done_at_ns", "_callbacks")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.done = False
+        self.value: Any = None
+        #: Virtual time the token resolved (None while pending).
+        self.done_at_ns: Optional[int] = None
+        self._callbacks: List[Callable[["Completion"], None]] = []
+
+    def add_done_callback(self, fn: Callable[["Completion"], None]) -> None:
+        """Run ``fn(self)`` when the token resolves (now, if it has)."""
+        if self.done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def resolve(self, value: Any = None) -> None:
+        """Resolve the token at the current virtual time."""
+        if self.done:
+            raise SimulationError("completion already resolved")
+        self.done = True
+        self.value = value
+        self.done_at_ns = self.engine.now_ns
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"done@{self.done_at_ns}" if self.done else "pending"
+        return f"<Completion {state}>"
 
 
 class TraceRecord:
@@ -329,6 +375,19 @@ class Engine:
                 self._l1_map |= 1 << i
             else:
                 heappush(self._far, (t, seq, fn, None))
+
+    def completion(self, delay_ns: int, value: Any = None) -> Completion:
+        """Schedule a :class:`Completion` that resolves in ``delay_ns``.
+
+        The resolution rides the anonymous fast path on the timer wheel
+        (completions are never cancelled); ``value`` is delivered to the
+        token's callbacks.  This is the primitive behind every
+        engine-scheduled I/O acknowledgement in the asynchronous
+        stable-storage pipeline.
+        """
+        token = Completion(self)
+        self.after_anon(int(delay_ns), lambda: token.resolve(value))
+        return token
 
     def after_anon(self, delay_ns: int, fn: Callable[[], None]) -> None:
         """Anonymous fast path: schedule ``fn`` after ``delay_ns``."""

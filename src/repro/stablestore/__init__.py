@@ -25,10 +25,11 @@ quorum-replicated client.
   page payload costs one quorum write ever, not one per generation.
 """
 
-from .contentstore import ContentStore, ImageManifest
+from .contentstore import ContentStore, DedupWriteStream, ImageManifest
 from .gc import GenerationGC
+from .pipeline import WritebackPipeline
 from .repair import ReplicationRepairer
-from .replicated import ReplicatedStore
+from .replicated import ReplicatedStore, ReplicaWriteStream
 from .server import StorageCluster, StorageServer, StorageServerState
 
 __all__ = [
@@ -36,8 +37,11 @@ __all__ = [
     "StorageServerState",
     "StorageCluster",
     "ReplicatedStore",
+    "ReplicaWriteStream",
     "ReplicationRepairer",
     "GenerationGC",
     "ContentStore",
     "ImageManifest",
+    "DedupWriteStream",
+    "WritebackPipeline",
 ]

@@ -41,9 +41,11 @@ import numpy as np
 
 from ..core.digest import payload_digest
 from ..core.image import CheckpointImage, Chunk
+from ..errors import StorageError
+from ..simkernel.engine import Completion
 from ..storage.backends import StorageBackend
 
-__all__ = ["ChunkRef", "ImageManifest", "ContentStore"]
+__all__ = ["ChunkRef", "ImageManifest", "ContentStore", "DedupWriteStream"]
 
 #: Accounted bytes per content reference in a manifest (vma id, page,
 #: offset, length, 64-bit digest).
@@ -158,6 +160,20 @@ class ContentStore(StorageBackend):
         manifest_bytes = meta.size_bytes + REF_RECORD_BYTES * len(refs)
         delay += self.inner.store(key, manifest, manifest_bytes, now_ns + delay)
         # Commit client-side bookkeeping only after both writes landed.
+        self._install_manifest(key, refs, pack, logical, dedup_hits, pack_key)
+        return delay
+
+    def _install_manifest(
+        self,
+        key: str,
+        refs: List[ChunkRef],
+        pack: Dict[str, np.ndarray],
+        logical: int,
+        dedup_hits: int,
+        pack_key: Optional[str],
+    ) -> None:
+        """Client-side bookkeeping once both writes are durable (shared
+        by the synchronous store and the pipelined stream commit)."""
         if pack_key is not None:
             self._pack_members[pack_key] = list(pack)
             self._pack_live.setdefault(pack_key, 0)
@@ -176,7 +192,6 @@ class ContentStore(StorageBackend):
             self.metrics.inc("dedup.hits", dedup_hits)
             self.metrics.inc("dedup.misses", len(pack))
             self.metrics.inc("dedup.bytes_saved", logical - pack_bytes)
-        return delay
 
     def load(self, key: str, now_ns: int) -> Tuple[Any, int]:
         obj, delay = self.inner.load(key, now_ns)
@@ -188,11 +203,77 @@ class ContentStore(StorageBackend):
             pack, d = self.inner.load(pk, now_ns + delay)
             delay += d
             payloads.update(pack)
+        return self._reassemble(obj, payloads), delay
+
+    @staticmethod
+    def _reassemble(
+        manifest: ImageManifest, payloads: Dict[str, np.ndarray]
+    ) -> CheckpointImage:
         chunks = [
             Chunk(vma=r.vma, page_index=r.page_index, offset=r.offset, data=payloads[r.ckey])
-            for r in obj.refs
+            for r in manifest.refs
         ]
-        return replace(obj.meta, chunks=chunks), delay
+        return replace(manifest.meta, chunks=chunks)
+
+    # ------------------------------------------------------------------
+    # Asynchronous pipeline entry points
+    # ------------------------------------------------------------------
+    def _engine(self):
+        engine = getattr(getattr(self.inner, "storage", None), "engine", None)
+        if engine is None:
+            raise StorageError(
+                "async pipeline requires an engine-attached inner backend "
+                "(e.g. ReplicatedStore)"
+            )
+        return engine
+
+    def store_async(self, key: str, obj: Any, nbytes: int, now_ns: int) -> Completion:
+        """Dedup + quorum write returning a completion token (see
+        :meth:`ReplicatedStore.store_async`)."""
+        delay = self.store(key, obj, nbytes, now_ns)
+        return self._engine().completion(delay, value=delay)
+
+    def load_async(self, key: str, now_ns: int) -> Completion:
+        """Manifest + pack fetch resolved with the reassembled image."""
+        obj, delay = self.load(key, now_ns)
+        return self._engine().completion(delay, value=obj)
+
+    def load_parallel(
+        self, keys, now_ns: int
+    ) -> Tuple[Dict[str, Any], int]:
+        """Two-round parallel chain fetch: all manifests at one instant,
+        then the union of their packs at one instant.
+
+        A serial chain walk pays ``2 x depth`` dependent round trips
+        (manifest then packs, per generation); the prefetch pays two --
+        the slowest manifest, then the slowest pack.
+        """
+        manifests, delay = self.inner.load_parallel(keys, now_ns)
+        needed = sorted(
+            {
+                self._home[r.ckey]
+                for obj in manifests.values()
+                if isinstance(obj, ImageManifest)
+                for r in obj.refs
+            }
+        )
+        payloads: Dict[str, np.ndarray] = {}
+        pack_delay = 0
+        if needed:
+            packs, pack_delay = self.inner.load_parallel(needed, now_ns + delay)
+            for pk in needed:
+                payloads.update(packs[pk])
+        out: Dict[str, Any] = {}
+        for k, obj in manifests.items():
+            if isinstance(obj, ImageManifest):
+                out[k] = self._reassemble(obj, payloads)
+            else:
+                out[k] = obj
+        return out, delay + pack_delay
+
+    def open_stream(self, key: str, now_ns: int) -> "DedupWriteStream":
+        """Open a pipelined dedup write (COW drain path)."""
+        return DedupWriteStream(self, key, now_ns)
 
     def exists(self, key: str) -> bool:
         """Whether the manifest *and* every pack it references are readable."""
@@ -251,3 +332,95 @@ class ContentStore(StorageBackend):
             f"<ContentStore images={self.images_stored} "
             f"dedup={self.dedup_ratio:.2f}x over {self.inner!r}>"
         )
+
+
+class DedupWriteStream:
+    """An open pipelined dedup write of one image.
+
+    Each :meth:`send_chunk` fingerprints the chunk's pages immediately
+    (the drain kthread does the hashing while the app runs) and streams
+    only never-seen payload bytes to the inner backend's write stream
+    under the image's pack key; duplicate pages cost no wire or disk
+    time at all, so a mostly-clean generation acknowledges almost
+    instantly.  :meth:`commit` seals the pack, writes the manifest, and
+    installs the refcount bookkeeping -- identical end state and metric
+    stream to a synchronous :meth:`ContentStore.store` of the same
+    image.
+    """
+
+    def __init__(self, cs: ContentStore, key: str, now_ns: int) -> None:
+        if key in cs._manifest_refs:
+            # Overwrite of an existing generation: release the old refs
+            # first (exactly as the synchronous store does) so refcounts
+            # stay exact.
+            cs.delete(key)
+        self.cs = cs
+        self.key = key
+        self.pack_key = f"{key}.pack"
+        self.opened_ns = now_ns
+        self.committed = False
+        self._inner_stream = None
+        self.refs: List[ChunkRef] = []
+        self.pack: Dict[str, np.ndarray] = {}
+        self.logical = 0
+        self.dedup_hits = 0
+        self.sent_bytes = 0  # unique payload bytes actually on the wire
+
+    def send_chunk(self, chunk: Chunk, now_ns: int) -> int:
+        """Fingerprint one extent; stream its unique bytes.  Returns the
+        delay at which those bytes are quorum-durable (0 for an extent
+        that dedups completely)."""
+        cs = self.cs
+        new_bytes = 0
+        for c in chunk.split_pages():
+            payload = np.ascontiguousarray(c.data)
+            ckey = f"{payload_digest(payload):016x}-{payload.size}"
+            self.refs.append(
+                ChunkRef(c.vma, c.page_index, c.offset, int(payload.size), ckey)
+            )
+            self.logical += int(payload.size)
+            if ckey not in cs._home and ckey not in self.pack:
+                self.pack[ckey] = np.array(payload, copy=True)
+                new_bytes += int(payload.size)
+            else:
+                self.dedup_hits += 1
+        if new_bytes == 0:
+            return 0
+        if self._inner_stream is None:
+            self._inner_stream = cs.inner.open_stream(self.pack_key, now_ns)
+        self.sent_bytes += new_bytes
+        return self._inner_stream.send(new_bytes, now_ns)
+
+    def send(self, nbytes: int, now_ns: int) -> int:
+        """Raw-extent sends are meaningless under dedup (payloads must be
+        fingerprinted); use :meth:`send_chunk`."""
+        raise StorageError("DedupWriteStream requires send_chunk (page payloads)")
+
+    def commit(self, obj: Any, nbytes: int, now_ns: int) -> int:
+        """Seal the pack, write the manifest, install the bookkeeping."""
+        if self.committed:
+            raise StorageError(f"stream for {self.key!r} already committed")
+        self.committed = True
+        cs = self.cs
+        if not isinstance(obj, CheckpointImage):
+            # Passthrough blob (no payload was streamed): plain store.
+            return cs.inner.store(self.key, obj, nbytes, now_ns)
+        delay = 0
+        pack_key: Optional[str] = None
+        if self.pack:
+            pack_key = self.pack_key
+            pack_bytes = int(sum(a.size for a in self.pack.values()))
+            if self._inner_stream is None:
+                self._inner_stream = cs.inner.open_stream(pack_key, now_ns)
+            delay += self._inner_stream.commit(self.pack, pack_bytes, now_ns)
+            cs.unique_payload_bytes += pack_bytes
+        meta = replace(obj, chunks=[])
+        manifest = ImageManifest(
+            key=self.key, meta=meta, refs=self.refs, pack_key=pack_key
+        )
+        manifest_bytes = meta.size_bytes + REF_RECORD_BYTES * len(self.refs)
+        delay += cs.inner.store(self.key, manifest, manifest_bytes, now_ns + delay)
+        cs._install_manifest(
+            self.key, self.refs, self.pack, self.logical, self.dedup_hits, pack_key
+        )
+        return delay

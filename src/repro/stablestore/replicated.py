@@ -27,10 +27,11 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import StorageError, StorageLostError
 from ..simkernel.costs import NS_PER_MS, NS_PER_US
+from ..simkernel.engine import Completion
 from ..storage.backends import StorageBackend, StorageKind
 from .server import StorageCluster, StorageServer
 
-__all__ = ["ReplicatedStore"]
+__all__ = ["ReplicatedStore", "ReplicaWriteStream"]
 
 
 def _score(key: str, server_id: int) -> int:
@@ -102,6 +103,8 @@ class ReplicatedStore(StorageBackend):
         self.quorum_read_failures = 0
         self.last_write_latency_ns = 0
         self._latency_ewma_ns: Optional[float] = None
+        self.last_read_latency_ns = 0
+        self._read_latency_ewma_ns: Optional[float] = None
         self.latency_alpha = 0.3
 
     # ------------------------------------------------------------------
@@ -196,6 +199,10 @@ class ReplicatedStore(StorageBackend):
         metrics.inc("storage.quorum_writes")
         metrics.inc("storage.replica_bytes_written", nbytes * len(placed))
         metrics.observe("storage.write_ns", delay)
+        self._observe_write_latency(delay)
+        return delay
+
+    def _observe_write_latency(self, delay: int) -> None:
         self.last_write_latency_ns = delay
         if self._latency_ewma_ns is None:
             self._latency_ewma_ns = float(delay)
@@ -204,7 +211,16 @@ class ReplicatedStore(StorageBackend):
                 self.latency_alpha * delay
                 + (1.0 - self.latency_alpha) * self._latency_ewma_ns
             )
-        return delay
+
+    def _observe_read_latency(self, delay: int) -> None:
+        self.last_read_latency_ns = delay
+        if self._read_latency_ewma_ns is None:
+            self._read_latency_ewma_ns = float(delay)
+        else:
+            self._read_latency_ewma_ns = (
+                self.latency_alpha * delay
+                + (1.0 - self.latency_alpha) * self._read_latency_ewma_ns
+            )
 
     def load(self, key: str, now_ns: int) -> Tuple[Any, int]:
         """Fetch ``obj`` from an R-of-N quorum of replica holders."""
@@ -244,7 +260,93 @@ class ReplicatedStore(StorageBackend):
         self.bytes_read += nbytes
         metrics.inc("storage.quorum_reads")
         metrics.observe("storage.read_ns", max(responders))
+        self._observe_read_latency(max(responders))
         return obj, max(responders)
+
+    # ------------------------------------------------------------------
+    # Asynchronous pipeline entry points
+    # ------------------------------------------------------------------
+    def store_async(self, key: str, obj: Any, nbytes: int, now_ns: int) -> Completion:
+        """Issue a quorum write and return a completion token.
+
+        The replica placement, retry walk, device accounting and metric
+        stream are exactly :meth:`store`'s; the difference is the caller
+        is not forced to sleep through the latency -- the returned token
+        resolves (with the write delay as its value) when the W-th
+        replica is durable, so a checkpoint drain can keep several writes
+        in flight and pay only the slowest at its commit barrier.
+        """
+        delay = self.store(key, obj, nbytes, now_ns)
+        self.storage.engine.metrics.inc("storage.async_writes")
+        return self.storage.engine.completion(delay, value=delay)
+
+    def load_fanout(self, key: str, now_ns: int) -> Tuple[Any, int]:
+        """Read from *every* live holder in parallel; fastest reply wins.
+
+        The synchronous :meth:`load` walks holders in preference order
+        and pays ``timeout + backoff`` for each dead candidate it tries.
+        The fan-out issues the read to all live holders at one instant:
+        dead servers simply never answer (no timeout on the client's
+        critical path) and the client returns at the R-th *fastest*
+        response instead of the R-th in preference order.
+        """
+        if key not in self._directory:
+            raise StorageError(f"no blob stored under {key!r}")
+        metrics = self.storage.engine.metrics
+        nbytes = self._directory[key]
+        holders = [s for s in self.candidates(key) if s.up and s.holds(key)]
+        if len(holders) < self.read_quorum:
+            self.quorum_read_failures += 1
+            metrics.inc("storage.quorum_read_failures")
+            raise StorageLostError(
+                f"read quorum unreachable for {key!r}: "
+                f"{len(holders)} live holders, {self.read_quorum} required"
+            )
+        obj: Any = None
+        delays: List[int] = []
+        for server in holders:
+            disk_delay = server.disk.submit(now_ns, nbytes)
+            link_delay = self.device.submit(now_ns + disk_delay, nbytes)
+            delays.append(disk_delay + link_delay)
+            server.bytes_read += nbytes
+            obj = server.replicas[key][0]
+        delays.sort()
+        delay = delays[self.read_quorum - 1]
+        self.bytes_read += nbytes
+        metrics.inc("storage.fanout_reads")
+        metrics.observe("storage.read_ns", delay)
+        self._observe_read_latency(delay)
+        return obj, delay
+
+    def load_async(self, key: str, now_ns: int) -> Completion:
+        """Fan-out read returning a completion token resolved with the
+        blob once the R-th fastest holder has responded."""
+        obj, delay = self.load_fanout(key, now_ns)
+        self.storage.engine.metrics.inc("storage.async_reads")
+        return self.storage.engine.completion(delay, value=obj)
+
+    def load_parallel(
+        self, keys, now_ns: int
+    ) -> Tuple[Dict[str, Any], int]:
+        """Prefetch several blobs issued at one instant (chain restore).
+
+        Each key is fetched with the fan-out read; because every request
+        is submitted at ``now_ns``, server disks seek concurrently and
+        the shared link serializes only wire time -- the total is the
+        slowest fetch, not the sum a serial chain walk pays.
+        """
+        objs: Dict[str, Any] = {}
+        worst = 0
+        for key in keys:
+            obj, delay = self.load_fanout(key, now_ns)
+            objs[key] = obj
+            if delay > worst:
+                worst = delay
+        return objs, worst
+
+    def open_stream(self, key: str, now_ns: int) -> "ReplicaWriteStream":
+        """Open a pipelined multi-extent quorum write (COW drain path)."""
+        return ReplicaWriteStream(self, key, now_ns)
 
     def exists(self, key: str) -> bool:
         """Whether a read of ``key`` would currently succeed."""
@@ -287,8 +389,17 @@ class ReplicatedStore(StorageBackend):
     # ------------------------------------------------------------------
     @property
     def avg_write_latency_ns(self) -> float:
-        """EWMA of client-visible write latency (autonomic feedback)."""
+        """EWMA of client-visible write latency (autonomic feedback).
+
+        Guarded: 0.0 before the first write, so fresh-cluster reporting
+        never divides by ``None``.
+        """
         return float(self._latency_ewma_ns or 0.0)
+
+    @property
+    def avg_read_latency_ns(self) -> float:
+        """EWMA of client-visible read latency (0.0 before any read)."""
+        return float(self._read_latency_ewma_ns or 0.0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -296,3 +407,115 @@ class ReplicatedStore(StorageBackend):
             f"W={self.write_quorum} R={self.read_quorum} "
             f"keys={len(self._directory)}>"
         )
+
+
+class ReplicaWriteStream:
+    """An open pipelined write of one blob across its replica set.
+
+    Opening the stream performs the rendezvous retry walk once (paying
+    the ``timeout + backoff`` penalty for each dead preferred server,
+    recorded in ``open_penalty_ns``) and pins the replica set.  Each
+    :meth:`send` then forwards one extent over the shared ingress link
+    and onto every pinned replica disk, returning the delay at which the
+    write-quorum-th copy of that extent is durable -- the writeback
+    pipeline schedules that instant as the extent's acknowledgement
+    event.  :meth:`commit` charges the metadata remainder, installs the
+    replicas and the directory entry; the blob becomes visible only
+    then, so a crash mid-stream loses time but never publishes a torn
+    image.
+
+    If servers fail mid-stream and fewer than W pinned replicas remain
+    up, the next ``send``/``commit`` raises
+    :class:`~repro.errors.StorageLostError` exactly like a failed
+    synchronous quorum write, which the capture paths already handle.
+    """
+
+    def __init__(self, store: ReplicatedStore, key: str, now_ns: int) -> None:
+        self.store = store
+        self.key = key
+        self.opened_ns = now_ns
+        self.sent_bytes = 0
+        self.committed = False
+        metrics = store.storage.engine.metrics
+        placed: List[StorageServer] = []
+        penalty = 0
+        backoff = store.backoff_base_ns
+        for server in store.candidates(key):
+            if len(placed) >= store.replication:
+                break
+            if not server.up:
+                penalty += store.timeout_ns + backoff
+                store.write_retries += 1
+                metrics.inc("storage.write_retries")
+                store.backoff_ns_total += backoff
+                backoff = min(int(backoff * store.backoff_factor), store.backoff_cap_ns)
+                continue
+            placed.append(server)
+        if len(placed) < store.write_quorum:
+            store.quorum_write_failures += 1
+            metrics.inc("storage.quorum_write_failures")
+            raise StorageLostError(
+                f"write quorum unreachable for {key!r}: "
+                f"{len(placed)} of {store.write_quorum} required replicas reachable"
+            )
+        self.servers = placed
+        self.open_penalty_ns = penalty
+
+    def _live_servers(self) -> List[StorageServer]:
+        live = [s for s in self.servers if s.up]
+        if len(live) < self.store.write_quorum:
+            self.store.quorum_write_failures += 1
+            self.store.storage.engine.metrics.inc("storage.quorum_write_failures")
+            raise StorageLostError(
+                f"write quorum lost mid-stream for {self.key!r}: "
+                f"{len(live)} of {self.store.write_quorum} pinned replicas up"
+            )
+        return live
+
+    def send(self, nbytes: int, now_ns: int) -> int:
+        """Forward one extent to every live pinned replica; returns the
+        delay at which the write-quorum-th copy is durable."""
+        live = self._live_servers()
+        delays: List[int] = []
+        for server in live:
+            link_delay = self.store.device.submit(now_ns, nbytes)
+            disk_delay = server.disk.submit(now_ns + link_delay, nbytes)
+            delays.append(link_delay + disk_delay)
+        self.sent_bytes += int(nbytes)
+        delays.sort()
+        return delays[min(self.store.write_quorum, len(live)) - 1]
+
+    def send_chunk(self, chunk: Any, now_ns: int) -> int:
+        """Queue one captured chunk (dedup-aware streams override)."""
+        return self.send(int(chunk.nbytes), now_ns)
+
+    def commit(self, obj: Any, nbytes: int, now_ns: int) -> int:
+        """Write the metadata remainder and make the blob visible.
+
+        Charges only ``nbytes - sent_bytes`` (payload extents already
+        travelled during :meth:`send`), so total link and disk traffic
+        matches a monolithic :meth:`ReplicatedStore.store` of the same
+        image.
+        """
+        if self.committed:
+            raise StorageError(f"stream for {self.key!r} already committed")
+        live = self._live_servers()
+        remainder = max(0, int(nbytes) - self.sent_bytes)
+        delays: List[int] = []
+        for server in live:
+            link_delay = self.store.device.submit(now_ns, remainder)
+            disk_delay = server.disk.submit(now_ns + link_delay, remainder)
+            delays.append(link_delay + disk_delay)
+            server.put_replica(self.key, obj, nbytes)
+        self.committed = True
+        st = self.store
+        st._directory[self.key] = nbytes
+        st.bytes_written += nbytes * len(live)
+        delays.sort()
+        delay = delays[min(st.write_quorum, len(live)) - 1]
+        metrics = st.storage.engine.metrics
+        metrics.inc("storage.quorum_writes")
+        metrics.inc("storage.replica_bytes_written", nbytes * len(live))
+        metrics.observe("storage.write_ns", delay)
+        st._observe_write_latency(delay)
+        return delay

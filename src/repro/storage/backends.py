@@ -28,6 +28,7 @@ from .devices import Device, disk_device, memory_device, network_device
 __all__ = [
     "StorageKind",
     "StorageBackend",
+    "WriteStream",
     "LocalDiskStorage",
     "RemoteStorage",
     "MemoryStorage",
@@ -123,8 +124,87 @@ class StorageBackend:
     def _check_available(self) -> None:
         """Subclasses raise :class:`StorageLostError` when unreachable."""
 
+    # ------------------------------------------------------------------
+    # Asynchronous / pipelined access
+    # ------------------------------------------------------------------
+    def load_parallel(
+        self, keys: "Sequence[str]", now_ns: int
+    ) -> Tuple[Dict[str, Any], int]:
+        """Fetch several blobs issued at the same virtual instant.
+
+        This is the restore-prefetch fan-out: every read is submitted at
+        ``now_ns`` so the device model overlaps what real hardware
+        overlaps (independent disks seek concurrently; a shared link
+        serializes only its wire time).  Returns ``({key: obj},
+        delay_ns)`` where the delay is the *slowest* fetch -- versus the
+        serial chain walk, which pays the *sum*.
+        """
+        objs: Dict[str, Any] = {}
+        worst = 0
+        for key in keys:
+            obj, delay = self.load(key, now_ns)
+            objs[key] = obj
+            if delay > worst:
+                worst = delay
+        return objs, worst
+
+    def open_stream(self, key: str, now_ns: int) -> "WriteStream":
+        """Open a pipelined, multi-extent write of one blob.
+
+        Capture code sends extents as they are copied (each slice queues
+        on the backend's device immediately) and commits the finished
+        object once, charging only the metadata remainder -- total
+        device traffic is identical to a monolithic :meth:`store`, but
+        the slices overlap with whatever the caller does between sends.
+        Replicated backends override this with a quorum-aware stream.
+        """
+        return WriteStream(self, key, now_ns)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.kind.value} blobs={len(self._blobs)}>"
+
+
+class WriteStream:
+    """An open multi-extent write of one blob to a single-device backend.
+
+    The stream is the synchronous half of the asynchronous writeback
+    pipeline: :meth:`send` reserves device time for one extent *now* and
+    returns the deterministic completion delay (the caller schedules the
+    acknowledgement as an engine event); :meth:`commit` installs the
+    finished object, charging only the bytes not already streamed.
+    """
+
+    def __init__(self, backend: StorageBackend, key: str, now_ns: int) -> None:
+        backend._check_available()
+        self.backend = backend
+        self.key = key
+        self.opened_ns = now_ns
+        self.sent_bytes = 0
+        self.committed = False
+
+    def send(self, nbytes: int, now_ns: int) -> int:
+        """Queue one extent on the device; returns its completion delay."""
+        self.backend._check_available()
+        delay = self.backend.device.submit(now_ns, nbytes)
+        self.sent_bytes += nbytes
+        return delay
+
+    def send_chunk(self, chunk: Any, now_ns: int) -> int:
+        """Queue one captured chunk (dedup-aware backends override)."""
+        return self.send(int(chunk.nbytes), now_ns)
+
+    def commit(self, obj: Any, nbytes: int, now_ns: int) -> int:
+        """Install ``obj`` under the stream's key; returns the delay of
+        the final metadata slice (payload bytes were already sent)."""
+        self.backend._check_available()
+        if self.committed:
+            raise StorageError(f"stream for {self.key!r} already committed")
+        self.committed = True
+        remainder = max(0, int(nbytes) - self.sent_bytes)
+        delay = self.backend.device.submit(now_ns, remainder)
+        self.backend._blobs[self.key] = (obj, nbytes)
+        self.backend.bytes_written += nbytes
+        return delay
 
 
 class LocalDiskStorage(StorageBackend):

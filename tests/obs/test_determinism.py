@@ -30,9 +30,14 @@ def _wf(rank):
     )
 
 
-def _run_instrumented_scenario():
+def _run_instrumented_scenario(pipeline_depth=None):
     """One coordinated run with storage + node failures; returns the
-    cluster with its engine's metrics/tracer populated."""
+    cluster with its engine's metrics/tracer populated.
+
+    ``pipeline_depth=None`` leaves the mechanism untouched (the seed
+    synchronous path); an integer sets the writeback-pipeline depth
+    explicitly, where ``1`` must be bit-compatible with ``None``.
+    """
     cl = Cluster(
         n_nodes=2, n_spares=2, seed=15,
         storage_servers=3, replication=2, storage_repair=True,
@@ -43,6 +48,9 @@ def _run_instrumented_scenario():
         n.node_id: AutonomicCheckpointer(n.kernel, n.remote_storage)
         for n in cl.nodes
     }
+    if pipeline_depth is not None:
+        for mech in mechs.values():
+            mech.pipeline_depth = pipeline_depth
     coord = CheckpointCoordinator(job, mechs, INTERVAL_NS)
     coord.start()
 
@@ -104,3 +112,33 @@ def test_same_seed_runs_export_identical_documents():
     tb = render_timeline(b.engine, title="run A")
     assert ta == tb
     assert "node.fail" in ta and "checkpoint" in ta
+
+
+def test_pipeline_depth_one_is_bit_compatible_with_sync_path():
+    """The async-pipeline knob at depth 1 must leave the whole failure
+    walk untouched: the same seed exports byte-identical documents with
+    the knob unset (seed synchronous path) and set to 1."""
+    seed_path = _run_instrumented_scenario(pipeline_depth=None)
+    depth_one = _run_instrumented_scenario(pipeline_depth=1)
+    ja = export_metrics_json(seed_path.engine, meta={"experiment": "pipe-compat"})
+    jb = export_metrics_json(depth_one.engine, meta={"experiment": "pipe-compat"})
+    assert ja == jb
+
+
+def test_pipelined_runs_are_deterministic():
+    """With the pipeline *on* (depth 4: overlapped drain, completion
+    events, backpressure stalls), same-seed runs must still export
+    byte-identical documents -- the async machinery schedules through
+    the engine, never through wall-clock or iteration-order accidents."""
+    a = _run_instrumented_scenario(pipeline_depth=4)
+    b = _run_instrumented_scenario(pipeline_depth=4)
+    ja = export_metrics_json(a.engine, meta={"experiment": "pipe-det"})
+    jb = export_metrics_json(b.engine, meta={"experiment": "pipe-det"})
+    assert ja == jb
+    doc = json.loads(ja)
+    validate_export(doc)
+    counters = doc["metrics"]["counters"]
+    assert counters.get("pipeline.extents", 0) > 0
+    assert counters.get("capture.pipelined_captures", 0) > 0
+    names = [s["name"] for s in doc["spans"]]
+    assert "pipeline.drain" in names
