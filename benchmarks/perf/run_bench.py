@@ -26,6 +26,10 @@ PR's perf claims live here:
   dataclass in a single ``heapq``), on an empty-callback event storm
   and on a mixed schedule/cancel workload.  The overhaul's acceptance
   bar is a >=5x storm speedup.
+* ``distsnap``    -- coordinated distributed snapshots: deterministic
+  virtual-time columns (marker latency, logged in-flight channel
+  state, stop-the-world downtime, exactly-once restart) plus the
+  wall-clock of a full marker snapshot+restart cycle.
 * ``grid_runner`` -- wall-clock of an E12-style system-MTBF sweep:
   the pre-runner serial shape (one scheduled event per node per trial)
   vs the sharded :class:`~repro.runner.GridRunner` over
@@ -579,6 +583,90 @@ def bench_pipeline(n_ckpts: int, chain_len: int) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Coordinated distributed snapshots: protocol cost and wall overhead
+# ----------------------------------------------------------------------
+def bench_distsnap(n: int, rate: float, repeats: int) -> Dict:
+    """Virtual-time evidence plus wall cost for ``repro.distsnap``.
+
+    One all-to-all process group with skewed channel latencies and
+    background traffic is snapshotted by the Chandy-Lamport marker
+    protocol and by stop-the-world, then restarted from the marker cut.
+    The virtual-time columns (marker latency, logged in-flight state,
+    STW downtime, exactly-once restart) are deterministic -- any drift
+    is a real protocol change; the wall-clock column records what a
+    full snapshot+restart cycle costs the simulator.
+    """
+    from repro.distsnap import (
+        ChannelNetwork, MarkerProtocol, SnapRank, StopTheWorldProtocol,
+        TrafficDriver, restore_snapshot, verify_exactly_once,
+    )
+    from repro.stablestore.replicated import ReplicatedStore
+    from repro.stablestore.server import StorageCluster
+
+    def build(seed):
+        eng = Engine(seed=seed)
+        net = ChannelNetwork(eng)
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    net.connect(i, j,
+                                latency_ns=5_000 + 40_000 * ((i + 3 * j) % 5))
+        drv = TrafficDriver(net, rate_per_s=rate)
+        drv.start()
+        ranks = [SnapRank(pid=p, endpoint=net.endpoint(p)) for p in range(n)]
+        return eng, net, drv, ranks
+
+    def snap(eng, proto):
+        token = proto.start()
+        eng.run(until=lambda: token.done or token.cancelled,
+                until_ns=eng.now_ns + 10_000_000_000)
+        assert token.done
+        return proto.manifest
+
+    def marker_cycle():
+        eng, net, drv, ranks = build(seed=13)
+        store = ReplicatedStore(StorageCluster(eng, n_servers=3),
+                                replication=2)
+        eng.run(until_ns=3_000_000)
+        t0 = eng.now_ns
+        m = snap(eng, MarkerProtocol(net, ranks, store=store, job="bench"))
+        latency_ns = eng.now_ns - t0
+        eng.run(until_ns=eng.now_ns + 6_000_000)
+        drv.stop()
+        res = restore_snapshot(store, m.key, net, mechanisms=None)
+        consumed = {ep.pid: ep.consumed for ep in net.endpoints()}
+        eng.run(until_ns=eng.now_ns + 1_000_000_000)
+        audit = verify_exactly_once(net, m, consumed)
+        return m, latency_ns, res, audit
+
+    t_wall = best_of(marker_cycle, repeats)
+    m, latency_ns, res, audit = marker_cycle()
+
+    eng, net, drv, ranks = build(seed=13)
+    eng.run(until_ns=3_000_000)
+    stw = snap(eng, StopTheWorldProtocol(net, ranks, store=None, job="bench"))
+    drv.stop()
+
+    exactly_once = float(
+        res.replayed == m.logged_message_count()
+        and audit["orphans"] == 0 and audit["duplicates"] == 0
+    )
+    return {
+        "processes": n,
+        "rate_per_s": rate,
+        "marker_latency_ns": latency_ns,
+        "marker_logged_msgs": m.logged_message_count(),
+        "marker_manifest_bytes": m.size_bytes,
+        "stw_downtime_ns": stw.downtime_ns,
+        "stw_logged_msgs": stw.logged_message_count(),
+        "replayed_msgs": res.replayed,
+        "exactly_once": exactly_once,
+        "cycle_wall_s": round(t_wall, 4),
+        "cycles_per_s": round(1.0 / t_wall, 2),
+    }
+
+
+# ----------------------------------------------------------------------
 def run(repeats: int) -> Dict:
     """Run every microbench and return the BENCH_PERF document."""
     return {
@@ -593,6 +681,8 @@ def run(repeats: int) -> Dict:
             repeats=max(1, repeats // 2),
         ),
         "pipeline": bench_pipeline(n_ckpts=6, chain_len=9),
+        "distsnap": bench_distsnap(n=6, rate=15_000.0,
+                                   repeats=max(1, repeats // 2)),
     }
 
 
@@ -621,6 +711,18 @@ def check_regression(current: Dict, baseline_path: Path, max_regression: float) 
         guarded.append(("pipeline downtime overlap",
                         baseline["pipeline"]["overlap"],
                         current["pipeline"]["overlap"]))
+    if "distsnap" in baseline:
+        # exactly_once is a deterministic 1.0: any consistency break
+        # drives the ratio to infinity and fails the check outright.
+        guarded.append(("distsnap exactly-once restart",
+                        baseline["distsnap"]["exactly_once"],
+                        current["distsnap"]["exactly_once"]))
+        guarded.append(("distsnap marker logged msgs",
+                        baseline["distsnap"]["marker_logged_msgs"],
+                        current["distsnap"]["marker_logged_msgs"]))
+        guarded.append(("distsnap snapshot cycles/s",
+                        baseline["distsnap"]["cycles_per_s"],
+                        current["distsnap"]["cycles_per_s"]))
     status = 0
     for name, base, cur in guarded:
         ratio = base / max(cur, 1e-9)

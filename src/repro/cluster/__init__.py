@@ -10,7 +10,13 @@ from .failures import (
     system_mtbf_s,
 )
 from .fleet import NodeFleet
-from .job import CheckpointCoordinator, ParallelJob, Rank, ScratchRestartPolicy
+from .job import (
+    CheckpointCoordinator,
+    CommunicatingJob,
+    ParallelJob,
+    Rank,
+    ScratchRestartPolicy,
+)
 from .machine import Cluster, ClusterNode, NodeState
 
 __all__ = [
@@ -28,5 +34,6 @@ __all__ = [
     "Rank",
     "ScratchRestartPolicy",
     "CheckpointCoordinator",
+    "CommunicatingJob",
     "BatchManager",
 ]

@@ -24,14 +24,28 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..core.checkpointer import Checkpointer, CheckpointRequest, RequestState
-from ..errors import ClusterError, StorageLostError
+from ..distsnap.channels import ChannelNetwork
+from ..distsnap.protocols import (
+    MarkerProtocol,
+    SnapRank,
+    SnapshotProtocol,
+    StopTheWorldProtocol,
+)
+from ..distsnap.restart import JobRestoreResult, restore_snapshot
+from ..errors import ClusterError, DistSnapError, StorageLostError
 from ..simkernel import Task
 from ..simkernel.costs import NS_PER_S
 from ..storage.backends import StorageBackend
 from ..workloads.base import Workload
 from .machine import Cluster, ClusterNode
 
-__all__ = ["Rank", "ParallelJob", "ScratchRestartPolicy", "CheckpointCoordinator"]
+__all__ = [
+    "Rank",
+    "ParallelJob",
+    "ScratchRestartPolicy",
+    "CheckpointCoordinator",
+    "CommunicatingJob",
+]
 
 
 @dataclass
@@ -406,3 +420,146 @@ class CheckpointCoordinator:
                 rank.task = wl.spawn(target.kernel, name=f"{job.name}/r{rank.index}")
         except ClusterError:
             self.unrecoverable = True
+
+
+class CommunicatingJob(ParallelJob):
+    """A gang whose ranks exchange messages over FIFO channels.
+
+    The messaging substrate is a :class:`~repro.distsnap.channels
+    .ChannelNetwork` on the cluster's engine, with one endpoint per
+    rank (addressed by **rank index** -- stable across restarts and
+    spare-node migration, unlike task pids).  This is the job shape the
+    ``repro.distsnap`` protocols coordinate: per-rank checkpointers
+    capture process state, the protocols capture the channel state
+    between them.
+
+    Parameters
+    ----------
+    topology:
+        ``"ring"`` (rank i <-> i+1 mod n), ``"all"`` (full bisection),
+        or an explicit list of ``(i, j)`` rank-index pairs, each made
+        bidirectional (strong connectivity is what marker flooding
+        needs; an undirected-connected edge list qualifies).
+    channel_latency_ns:
+        Per-channel propagation latency (default: the network's).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        workload_factory: Callable[[int], Workload],
+        n_ranks: int,
+        name: str = "job",
+        node_ids: Optional[List[int]] = None,
+        topology: object = "ring",
+        channel_latency_ns: Optional[int] = None,
+    ) -> None:
+        super().__init__(cluster, workload_factory, n_ranks, name, node_ids)
+        self.net = ChannelNetwork(cluster.engine)
+        for i, j in self._edges(topology, n_ranks):
+            self.net.connect_bidirectional(i, j, channel_latency_ns)
+        for rank in self.ranks:
+            self.net.add_process(rank.index)
+
+    @staticmethod
+    def _edges(topology: object, n: int) -> List[tuple]:
+        if topology == "ring":
+            return [(i, (i + 1) % n) for i in range(n)] if n > 1 else []
+        if topology == "all":
+            return [(i, j) for i in range(n) for j in range(i + 1, n)]
+        if isinstance(topology, (list, tuple)):
+            edges = []
+            for i, j in topology:
+                if not (0 <= i < n and 0 <= j < n):
+                    raise DistSnapError(
+                        f"edge ({i}, {j}) references a rank outside 0..{n - 1}"
+                    )
+                edges.append((i, j))
+            return edges
+        raise DistSnapError(f"unknown topology {topology!r}")
+
+    # ------------------------------------------------------------------
+    def snap_ranks(
+        self, mechanisms: Optional[Dict[int, Checkpointer]] = None
+    ) -> List[SnapRank]:
+        """The gang as the snapshot protocols see it.
+
+        ``mechanisms`` is keyed by **node_id**, the
+        :class:`CheckpointCoordinator` convention; omit it for
+        lightweight (channel-state-only) snapshots.
+        """
+        out = []
+        for rank in self.ranks:
+            mech = None
+            if mechanisms is not None:
+                mech = mechanisms.get(rank.node.node_id) or next(
+                    iter(mechanisms.values())
+                )
+            out.append(
+                SnapRank(
+                    pid=rank.index,
+                    endpoint=self.net.endpoint(rank.index),
+                    task=rank.task,
+                    mechanism=mech,
+                    node_id=rank.node.node_id,
+                )
+            )
+        return out
+
+    def snapshot(
+        self,
+        store: StorageBackend,
+        mechanisms: Dict[int, Checkpointer],
+        protocol: str = "marker",
+        watch_failures: bool = True,
+    ) -> SnapshotProtocol:
+        """Build (without starting) a coordinated snapshot of this job."""
+        cls = {"marker": MarkerProtocol, "stw": StopTheWorldProtocol}.get(
+            protocol
+        )
+        if cls is None:
+            raise DistSnapError(f"unknown protocol {protocol!r}")
+        proto = cls(
+            self.net, self.snap_ranks(mechanisms), store=store, job=self.name
+        )
+        if watch_failures:
+            proto.attach_failure_watch(self.cluster)
+        return proto
+
+    def restore(
+        self,
+        store: StorageBackend,
+        manifest_key: str,
+        mechanisms: Dict[int, Checkpointer],
+        prefetch: bool = True,
+    ) -> JobRestoreResult:
+        """Whole-job restart from a cut manifest.
+
+        Each rank restores through its node's mechanism onto its
+        original node, or a claimed spare if that node is down; the
+        rank's task binding is updated to the restored process and the
+        gang's in-flight messages are replayed onto the channels.
+        """
+        mech_by_rank: Dict[int, Checkpointer] = {}
+        kernels: Dict[int, object] = {}
+        for rank in self.ranks:
+            if not rank.node.up:
+                rank.node = self.cluster.claim_spare()
+            mech_by_rank[rank.index] = mechanisms.get(
+                rank.node.node_id
+            ) or next(iter(mechanisms.values()))
+            kernels[rank.index] = rank.node.kernel
+        result = restore_snapshot(
+            store,
+            manifest_key,
+            self.net,
+            mechanisms=mech_by_rank,
+            target_kernels=kernels,
+            prefetch=prefetch,
+        )
+        for rank in self.ranks:
+            res = result.rank_results.get(rank.index)
+            if res is not None:
+                rank.task = res.task
+        self.restarts += 1
+        return result

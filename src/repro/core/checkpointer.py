@@ -63,6 +63,26 @@ class CheckpointRequest:
     #: Tracing span covering initiation -> completion (closed by
     #: ``_complete``/``_fail``; stays open if the capture is abandoned).
     span: Optional[Any] = field(default=None, repr=False)
+    #: Watchers invoked (with the request) when the request reaches DONE
+    #: or FAILED.  Event-driven consumers -- the distributed-snapshot
+    #: protocols collecting a whole gang's captures -- subscribe here
+    #: instead of polling the state on an engine timer.
+    _watchers: List[Callable[["CheckpointRequest"], None]] = field(
+        default_factory=list, repr=False
+    )
+
+    def add_done_callback(self, fn: Callable[["CheckpointRequest"], None]) -> None:
+        """Run ``fn(self)`` once the request completes or fails (now, if
+        it already has)."""
+        if self.state in (RequestState.DONE, RequestState.FAILED):
+            fn(self)
+        else:
+            self._watchers.append(fn)
+
+    def _notify(self) -> None:
+        watchers, self._watchers = self._watchers, []
+        for fn in watchers:
+            fn(self)
 
     @property
     def initiation_latency_ns(self) -> Optional[int]:
@@ -231,6 +251,7 @@ class Checkpointer:
             req.span.end(state="done", image_bytes=image.size_bytes)
         if self.compaction_threshold is not None:
             self.maybe_compact(image)
+        req._notify()
 
     def _fail(self, req: CheckpointRequest, message: str) -> None:
         req.state = RequestState.FAILED
@@ -239,6 +260,7 @@ class Checkpointer:
         self.kernel.engine.metrics.inc("checkpoint.failed")
         if req.span is not None:
             req.span.end(state="failed", error=message)
+        req._notify()
 
     # ------------------------------------------------------------------
     # Restart

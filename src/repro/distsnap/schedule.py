@@ -1,0 +1,320 @@
+"""Declarative snapshot schedules (MUSCLE3-style ``every``/``at``).
+
+The MUSCLE3 workflow manager drives consistent workflow snapshots from
+a declarative checkpoint schedule in the run configuration rather than
+from code; this module reproduces that shape for the distsnap
+coordinator:
+
+.. code-block:: python
+
+    Schedule.parse({
+        "wallclock_time":   [{"every": 0.5}],                 # seconds
+        "simulation_time":  [{"every": 10, "start": 0, "stop": 100},
+                             {"at": [250, 500]}],
+        "at_end": True,
+    })
+
+Two clocks, as in the exemplar, mapped onto the simulation:
+
+* ``wallclock_time`` -- the engine's virtual clock, seconds since the
+  scheduler started.  ("Wallclock" from the *simulated job's* point of
+  view: the time a real operator's cron-style policy would see.)
+* ``simulation_time`` -- application progress: whatever monotone scalar
+  the job exposes (iterations completed, timesteps).  A rule fires when
+  progress *crosses* one of its instants; crossing several between two
+  observations fires once (snapshots coalesce, they do not queue).
+
+``at_end`` requests one final snapshot when the job finishes
+(:meth:`SnapshotScheduler.finish`).
+
+Rules are pure arithmetic (:meth:`Rule.next_after`) so firing sequences
+are deterministic for a given progress trace; the scheduler arms
+labelled engine timers for wallclock rules and cancels them cleanly on
+:meth:`SnapshotScheduler.stop`, so an abandoned scheduler leaks no
+pending events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Mapping, Optional, Sequence
+
+from ..errors import DistSnapError
+from ..simkernel.costs import NS_PER_S
+from ..simkernel.engine import Engine, Event
+
+__all__ = ["Rule", "Schedule", "SnapshotScheduler"]
+
+
+def _to_ns(value: Any, what: str) -> int:
+    """Seconds (int/float, MUSCLE3's unit) -> integer nanoseconds."""
+    try:
+        ns = int(float(value) * NS_PER_S)
+    except (TypeError, ValueError):
+        raise DistSnapError(f"{what} must be a number, got {value!r}") from None
+    if ns < 0:
+        raise DistSnapError(f"{what} must be >= 0, got {value!r}")
+    return ns
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One schedule rule: either periodic (``every`` from ``start``
+    until optional ``stop``) or explicit instants (``at``)."""
+
+    every_ns: Optional[int] = None
+    start_ns: int = 0
+    stop_ns: Optional[int] = None
+    at_ns: Sequence[int] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if (self.every_ns is None) == (not self.at_ns):
+            raise DistSnapError(
+                "a rule needs exactly one of 'every' or 'at'"
+            )
+        if self.every_ns is not None and self.every_ns <= 0:
+            raise DistSnapError("'every' must be > 0")
+
+    @staticmethod
+    def parse(spec: Mapping[str, Any]) -> "Rule":
+        """Parse one ``{every[, start, stop]}`` or ``{at}`` rule (seconds)."""
+        unknown = set(spec) - {"every", "start", "stop", "at"}
+        if unknown:
+            raise DistSnapError(f"unknown rule keys: {sorted(unknown)}")
+        if "at" in spec:
+            if "every" in spec or "start" in spec or "stop" in spec:
+                raise DistSnapError("'at' rules take no other keys")
+            instants = spec["at"]
+            if not isinstance(instants, (list, tuple)) or not instants:
+                raise DistSnapError("'at' must be a non-empty list")
+            return Rule(at_ns=tuple(sorted(
+                _to_ns(v, "'at' instant") for v in instants
+            )))
+        if "every" not in spec:
+            raise DistSnapError("a rule needs 'every' or 'at'")
+        return Rule(
+            every_ns=_to_ns(spec["every"], "'every'") or 1,
+            start_ns=_to_ns(spec.get("start", 0), "'start'"),
+            stop_ns=(
+                _to_ns(spec["stop"], "'stop'") if "stop" in spec else None
+            ),
+        )
+
+    def next_after(self, t_ns: int) -> Optional[int]:
+        """The rule's smallest instant strictly after ``t_ns`` (None
+        when exhausted)."""
+        if self.at_ns:
+            for instant in self.at_ns:
+                if instant > t_ns:
+                    return instant
+            return None
+        assert self.every_ns is not None
+        if t_ns < self.start_ns:
+            nxt = self.start_ns
+        else:
+            periods = (t_ns - self.start_ns) // self.every_ns + 1
+            nxt = self.start_ns + periods * self.every_ns
+        if self.stop_ns is not None and nxt > self.stop_ns:
+            return None
+        return nxt
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A parsed checkpoint schedule: rule lists per clock + ``at_end``."""
+
+    wallclock: Sequence[Rule] = field(default_factory=tuple)
+    simulation: Sequence[Rule] = field(default_factory=tuple)
+    at_end: bool = False
+
+    @staticmethod
+    def parse(spec: Mapping[str, Any]) -> "Schedule":
+        """Parse a MUSCLE3-shaped checkpoint schedule mapping."""
+        if not isinstance(spec, Mapping):
+            raise DistSnapError("schedule spec must be a mapping")
+        unknown = set(spec) - {"wallclock_time", "simulation_time", "at_end"}
+        if unknown:
+            raise DistSnapError(f"unknown schedule keys: {sorted(unknown)}")
+
+        def rules(key: str) -> tuple:
+            entries = spec.get(key, [])
+            if not isinstance(entries, (list, tuple)):
+                raise DistSnapError(f"'{key}' must be a list of rules")
+            return tuple(Rule.parse(e) for e in entries)
+
+        sched = Schedule(
+            wallclock=rules("wallclock_time"),
+            simulation=rules("simulation_time"),
+            at_end=bool(spec.get("at_end", False)),
+        )
+        if not sched.wallclock and not sched.simulation and not sched.at_end:
+            raise DistSnapError("schedule fires nothing (empty spec)")
+        return sched
+
+    def next_wallclock_after(self, t_ns: int) -> Optional[int]:
+        """Earliest wallclock instant strictly after ``t_ns``."""
+        instants = [r.next_after(t_ns) for r in self.wallclock]
+        instants = [i for i in instants if i is not None]
+        return min(instants) if instants else None
+
+    def simulation_due(self, prev: int, progress: int) -> bool:
+        """Whether progress moving ``prev -> progress`` crossed any
+        simulation-time instant (multiple crossings coalesce)."""
+        if progress <= prev:
+            return False
+        for rule in self.simulation:
+            nxt = rule.next_after(prev)
+            if nxt is not None and nxt <= progress:
+                return True
+        return False
+
+
+class SnapshotScheduler:
+    """Fires a trigger according to a :class:`Schedule`.
+
+    ``trigger(reason)`` starts one snapshot and returns its result
+    completion (or None when it could not start); the scheduler never
+    overlaps snapshots -- an instant that falls due while one is in
+    flight re-arms after it settles.  ``progress_fn`` supplies the
+    simulation-time scalar in **nanosecond-shaped units** (the parsed
+    schedule multiplied simulation instants by 1e9 too, so a progress
+    of "iteration n" is passed as ``n * NS_PER_S``-- see
+    :func:`progress_iterations`).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        schedule: Schedule,
+        trigger: Callable[[str], Optional[Any]],
+        progress_fn: Optional[Callable[[], int]] = None,
+        poll_ns: int = 10_000_000,
+    ) -> None:
+        if schedule.simulation and progress_fn is None:
+            raise DistSnapError(
+                "schedule has simulation_time rules but no progress_fn"
+            )
+        self.engine = engine
+        self.schedule = schedule
+        self.trigger = trigger
+        self.progress_fn = progress_fn
+        self.poll_ns = int(poll_ns)
+        self.t0_ns: Optional[int] = None
+        self.fired: List[tuple] = []
+        self._running = False
+        self._busy = False
+        self._deferred: Optional[str] = None
+        self._last_progress = 0
+        self._wall_event: Optional[Event] = None
+        self._poll_event: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the wallclock timer and the simulation-progress poll."""
+        if self._running:
+            raise DistSnapError("scheduler already started")
+        self._running = True
+        self.t0_ns = self.engine.now_ns
+        if self.progress_fn is not None:
+            self._last_progress = self.progress_fn()
+        self._arm_wallclock()
+        self._arm_poll()
+
+    def stop(self) -> None:
+        """Cancel armed timers; leaves no pending engine events."""
+        self._running = False
+        for ev_attr in ("_wall_event", "_poll_event"):
+            ev = getattr(self, ev_attr)
+            if ev is not None:
+                ev.cancel()
+                setattr(self, ev_attr, None)
+
+    def finish(self) -> Optional[Any]:
+        """Job end: fire the ``at_end`` snapshot if requested.
+
+        Returns the trigger's token, or None when a scheduled snapshot
+        is still in flight -- the ``at_end`` cut then fires as soon as
+        it settles (a final snapshot is never silently dropped).
+        """
+        self.stop()
+        if self.schedule.at_end:
+            return self._fire("at_end")
+        return None
+
+    # ------------------------------------------------------------------
+    def _elapsed(self) -> int:
+        assert self.t0_ns is not None
+        return self.engine.now_ns - self.t0_ns
+
+    def _arm_wallclock(self) -> None:
+        self._wall_event = None
+        if not self._running:
+            return
+        nxt = self.schedule.next_wallclock_after(self._elapsed())
+        if nxt is None:
+            return
+        self._wall_event = self.engine.at(
+            self.t0_ns + nxt, self._wallclock_due, label="distsnap.sched"
+        )
+
+    def _wallclock_due(self) -> None:
+        self._wall_event = None
+        if self._running:
+            self._fire("wallclock")
+            self._arm_wallclock()
+
+    def _arm_poll(self) -> None:
+        self._poll_event = None
+        if not self._running or not self.schedule.simulation:
+            return
+        self._poll_event = self.engine.after(
+            self.poll_ns, self._poll_due, label="distsnap.sched"
+        )
+
+    def _poll_due(self) -> None:
+        self._poll_event = None
+        if not self._running:
+            return
+        assert self.progress_fn is not None
+        progress = self.progress_fn()
+        if self.schedule.simulation_due(self._last_progress, progress):
+            self._fire("simulation")
+        self._last_progress = max(self._last_progress, progress)
+        self._arm_poll()
+
+    def _fire(self, reason: str) -> Optional[Any]:
+        if self._busy:
+            # Coalesce: remember one deferred firing, run it when the
+            # in-flight snapshot settles.
+            self._deferred = reason
+            return None
+        token = self.trigger(reason)
+        self.fired.append((self.engine.now_ns, reason))
+        self.engine.metrics.inc("distsnap.schedule_fired")
+        if token is not None and hasattr(token, "add_done_callback"):
+            # Completions settle on resolve *and* on cancel (aborted
+            # snapshots), so _busy always clears.
+            self._busy = True
+            token.add_done_callback(lambda _c: self._settled())
+        return token
+
+    def _settled(self) -> None:
+        self._busy = False
+        deferred, self._deferred = self._deferred, None
+        # "at_end" survives stop(): finish() during an in-flight
+        # snapshot must still take the final cut once it settles.
+        if deferred is not None and (self._running or deferred == "at_end"):
+            self._fire(deferred)
+
+
+def progress_iterations(ranks: Sequence[Any]) -> Callable[[], int]:
+    """Progress function: min completed main-loop steps across ranks,
+    in schedule units (an ``{"every": 10}`` simulation rule fires every
+    10 iterations)."""
+    def _progress() -> int:
+        steps = [
+            int(getattr(r.task, "main_steps", 0)) for r in ranks
+            if getattr(r, "task", None) is not None
+        ]
+        return (min(steps) if steps else 0) * NS_PER_S
+    return _progress

@@ -24,6 +24,7 @@ __all__ = [
     "RegistryError",
     "WorkloadError",
     "ObservabilityError",
+    "DistSnapError",
 ]
 
 
@@ -113,3 +114,13 @@ class WorkloadError(ReproError):
 
 class ObservabilityError(ReproError):
     """Invalid metrics/tracing usage or a malformed obs export."""
+
+
+class DistSnapError(ReproError):
+    """A coordinated distributed-snapshot operation failed.
+
+    Raised for channel misuse (FIFO violations, sends on closed
+    networks), malformed snapshot schedules, protocol aborts surfaced to
+    the caller, and inconsistent cuts detected at restart (orphan or
+    duplicate messages) -- the invariants experiment E22 asserts.
+    """

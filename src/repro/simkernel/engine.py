@@ -142,9 +142,20 @@ class Completion:
 
     Callbacks added *after* the token resolved fire immediately (at the
     current virtual time), so late subscribers never deadlock.
+
+    A token may be *cancelled* (:meth:`cancel`): pending callbacks run
+    one final time with ``token.cancelled`` set (asyncio's done-on-
+    cancel semantics -- waiters must observe the abort, not hang) and a
+    later :meth:`resolve` is a silent no-op.  Protocols that abort
+    mid-flight (a rank failing during a distributed-snapshot marker
+    flood) cancel their outstanding tokens this way; a token scheduled
+    through :meth:`Engine.completion` with ``cancellable=True`` also
+    removes its timer event from the schedule, so the engine's pending
+    count stays exact across abort paths.
     """
 
-    __slots__ = ("engine", "done", "value", "done_at_ns", "_callbacks")
+    __slots__ = ("engine", "done", "value", "done_at_ns", "cancelled",
+                 "_callbacks", "_event")
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
@@ -152,28 +163,61 @@ class Completion:
         self.value: Any = None
         #: Virtual time the token resolved (None while pending).
         self.done_at_ns: Optional[int] = None
+        self.cancelled = False
         self._callbacks: List[Callable[["Completion"], None]] = []
+        #: The labelled timer event backing a cancellable token (None for
+        #: the anonymous fast path).
+        self._event: Optional[Event] = None
 
     def add_done_callback(self, fn: Callable[["Completion"], None]) -> None:
-        """Run ``fn(self)`` when the token resolves (now, if it has)."""
-        if self.done:
+        """Run ``fn(self)`` when the token settles -- resolution or
+        cancellation (now, if it already has)."""
+        if self.done or self.cancelled:
             fn(self)
         else:
             self._callbacks.append(fn)
 
     def resolve(self, value: Any = None) -> None:
-        """Resolve the token at the current virtual time."""
+        """Resolve the token at the current virtual time.
+
+        Resolving a cancelled token is a no-op: an anonymous timer that
+        already left the wheel may still fire after its consumer
+        aborted, and the stale resolution must not reach anyone.
+        """
+        if self.cancelled:
+            return
         if self.done:
             raise SimulationError("completion already resolved")
         self.done = True
         self.value = value
         self.done_at_ns = self.engine.now_ns
+        self._event = None
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def cancel(self) -> None:
+        """Cancel the token: resolve becomes a no-op, a cancellable
+        token's timer leaves the schedule (``Engine.pending`` is
+        decremented exactly once, through :meth:`Event.cancel`'s guarded
+        accounting), and pending callbacks run once with
+        ``cancelled`` set so waiters observe the abort."""
+        if self.done or self.cancelled:
+            return
+        self.cancelled = True
+        ev, self._event = self._event, None
+        if ev is not None:
+            ev.cancel()
         callbacks, self._callbacks = self._callbacks, []
         for fn in callbacks:
             fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = f"done@{self.done_at_ns}" if self.done else "pending"
+        state = (
+            "cancelled" if self.cancelled
+            else f"done@{self.done_at_ns}" if self.done
+            else "pending"
+        )
         return f"<Completion {state}>"
 
 
@@ -376,17 +420,27 @@ class Engine:
             else:
                 heappush(self._far, (t, seq, fn, None))
 
-    def completion(self, delay_ns: int, value: Any = None) -> Completion:
+    def completion(
+        self, delay_ns: int, value: Any = None, cancellable: bool = False
+    ) -> Completion:
         """Schedule a :class:`Completion` that resolves in ``delay_ns``.
 
-        The resolution rides the anonymous fast path on the timer wheel
-        (completions are never cancelled); ``value`` is delivered to the
-        token's callbacks.  This is the primitive behind every
-        engine-scheduled I/O acknowledgement in the asynchronous
-        stable-storage pipeline.
+        By default the resolution rides the anonymous fast path on the
+        timer wheel (I/O acknowledgements are never cancelled); ``value``
+        is delivered to the token's callbacks.  ``cancellable=True``
+        routes through a labelled event instead, so
+        :meth:`Completion.cancel` removes the timer from the schedule --
+        the form protocols use for abortable waits (quiesce drains,
+        marker-flood watchdogs), where an abandoned anonymous timer
+        would otherwise linger until its scheduled instant.
         """
         token = Completion(self)
-        self.after_anon(int(delay_ns), lambda: token.resolve(value))
+        if cancellable:
+            token._event = self.after(
+                int(delay_ns), lambda: token.resolve(value), label="completion"
+            )
+        else:
+            self.after_anon(int(delay_ns), lambda: token.resolve(value))
         return token
 
     def after_anon(self, delay_ns: int, fn: Callable[[], None]) -> None:

@@ -11,6 +11,14 @@ generation forever).
 Incremental images chain back to a full base via ``parent_key``; the
 sweeper walks those chains (via the I/O-free ``peek``) and never deletes
 an ancestor of a retained generation.
+
+Distributed-snapshot cut manifests are a second kind of GC root: a
+manifest's key (``distsnap/<job>/<id>+cut``) is never generation-shaped,
+so the manifest itself is untouchable, and every per-rank image it
+references (``pinned_keys()``) -- whose keys *are* generation-shaped --
+is protected along with its whole delta ancestry.  Without this, a long
+gap between cuts would let per-process generation pruning collect a
+rank image out of a still-restorable whole-job snapshot.
 """
 
 from __future__ import annotations
@@ -71,13 +79,26 @@ class GenerationGC:
     def sweep(self) -> List[str]:
         """Delete superseded generations; returns the keys collected."""
         groups: Dict[str, List[Tuple[int, str]]] = {}
+        manifest_pins: List[str] = []
         for key in list(self.store.keys()):
             parsed = _parse_generation(key)
             if parsed is None:
-                continue  # foreign key shape: never touched
+                # Foreign key shape: never a candidate -- but a cut
+                # manifest hiding behind one pins the rank images it
+                # references (I/O-free peek; unreadable blobs are
+                # simply not manifests right now).
+                try:
+                    obj = self.store.peek(key)
+                except StorageError:
+                    continue
+                if getattr(obj, "is_cut_manifest", False):
+                    manifest_pins.extend(obj.pinned_keys())
+                continue
             group, gen = parsed
             groups.setdefault(group, []).append((gen, key))
         protected: Set[str] = set()
+        for key in manifest_pins:
+            self._protected_chain(key, protected)
         doomed: List[str] = []
         for group, members in groups.items():
             members.sort()

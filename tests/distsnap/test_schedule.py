@@ -1,0 +1,226 @@
+"""Schedule DSL: parsing, rule arithmetic, deterministic firing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distsnap import Rule, Schedule, SnapshotScheduler
+from repro.errors import DistSnapError
+from repro.simkernel.costs import NS_PER_S
+from repro.simkernel.engine import Engine
+
+COMMON = dict(deadline=None, max_examples=60)
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def test_parse_muscle3_shaped_spec():
+    sched = Schedule.parse({
+        "wallclock_time": [{"every": 0.5}],
+        "simulation_time": [
+            {"every": 10, "start": 0, "stop": 100},
+            {"at": [250, 500]},
+        ],
+        "at_end": True,
+    })
+    assert len(sched.wallclock) == 1
+    assert len(sched.simulation) == 2
+    assert sched.at_end
+    assert sched.wallclock[0].every_ns == int(0.5 * NS_PER_S)
+    assert sched.simulation[1].at_ns == (250 * NS_PER_S, 500 * NS_PER_S)
+
+
+@pytest.mark.parametrize("bad", [
+    {},                                           # fires nothing
+    {"bogus": []},                                # unknown key
+    {"wallclock_time": [{"every": -1}]},          # negative
+    {"wallclock_time": [{"every": "x"}]},         # not a number
+    {"wallclock_time": [{"at": []}]},             # empty at
+    {"wallclock_time": [{"at": [1], "every": 2}]},  # both kinds
+    {"wallclock_time": [{"frequency": 2}]},       # unknown rule key
+    {"wallclock_time": [{}]},                     # neither kind
+    {"wallclock_time": 7},                        # not a list
+    "every 5s",                                   # not a mapping
+])
+def test_parse_rejects_malformed_specs(bad):
+    with pytest.raises(DistSnapError):
+        Schedule.parse(bad)
+
+
+# ----------------------------------------------------------------------
+# Rule arithmetic
+# ----------------------------------------------------------------------
+def test_every_rule_instants():
+    r = Rule.parse({"every": 10, "start": 5, "stop": 40})
+    got, t = [], -1
+    while True:
+        nxt = r.next_after(t)
+        if nxt is None:
+            break
+        got.append(nxt)
+        t = nxt
+    assert got == [x * NS_PER_S for x in (5, 15, 25, 35)]
+
+
+def test_at_rule_instants():
+    r = Rule.parse({"at": [30, 10, 20]})
+    assert r.next_after(-1) == 10 * NS_PER_S
+    assert r.next_after(10 * NS_PER_S) == 20 * NS_PER_S
+    assert r.next_after(30 * NS_PER_S) is None
+
+
+@settings(**COMMON)
+@given(
+    st.integers(min_value=1, max_value=1000),  # every (s)
+    st.integers(min_value=0, max_value=500),   # start (s)
+    st.integers(min_value=0, max_value=10**6),  # probe t (ns-ish scale)
+)
+def test_every_rule_next_after_is_strictly_after_and_on_grid(every, start, t):
+    r = Rule(every_ns=every, start_ns=start)
+    nxt = r.next_after(t)
+    assert nxt is not None and nxt > t
+    assert nxt >= start and (nxt - start) % every == 0
+    # Minimality: the previous grid point (if any) is at or before t.
+    assert nxt == start or nxt - every <= t
+
+
+def test_simulation_due_crossing_semantics():
+    sched = Schedule.parse({"simulation_time": [{"every": 10}]})
+    s = NS_PER_S
+    assert not sched.simulation_due(0, 5 * s)
+    assert sched.simulation_due(5 * s, 10 * s)
+    assert sched.simulation_due(5 * s, 95 * s)  # many crossings, one fire
+    assert not sched.simulation_due(10 * s, 10 * s)  # no progress, no fire
+
+
+# ----------------------------------------------------------------------
+# Scheduler firing
+# ----------------------------------------------------------------------
+def run_scheduler(seed, horizon_ns=3 * NS_PER_S, trigger=None):
+    eng = Engine(seed=seed)
+    sched = Schedule.parse({"wallclock_time": [{"every": 0.5}, {"at": [1.25]}]})
+    fired = []
+    scheduler = SnapshotScheduler(
+        eng, sched,
+        trigger or (lambda reason: fired.append((eng.now_ns, reason))),
+    )
+    scheduler.start()
+    eng.run(until_ns=horizon_ns)
+    scheduler.stop()
+    eng.run()
+    assert eng.pending() == 0  # stop() leaks no timers
+    return scheduler.fired
+
+
+def test_wallclock_firing_sequence_is_deterministic():
+    a = run_scheduler(1)
+    b = run_scheduler(2)  # engine seed does not perturb the schedule
+    assert a == b
+    times = [t for t, _ in a]
+    s = NS_PER_S
+    assert times == [s // 2, s, 5 * s // 4, 3 * s // 2, 2 * s, 5 * s // 2, 3 * s]
+
+
+def test_scheduler_never_overlaps_snapshots():
+    eng = Engine(seed=3)
+    sched = Schedule.parse({"wallclock_time": [{"every": 0.1}]})
+    active = {"n": 0, "max": 0}
+    tokens = []
+
+    def trigger(reason):
+        active["n"] += 1
+        active["max"] = max(active["max"], active["n"])
+        token = eng.completion(int(0.35 * NS_PER_S), cancellable=True)
+        token.add_done_callback(lambda c: active.__setitem__("n", active["n"] - 1))
+        tokens.append(token)
+        return token
+
+    scheduler = SnapshotScheduler(eng, sched, trigger)
+    scheduler.start()
+    eng.run(until_ns=2 * NS_PER_S)
+    scheduler.stop()
+    assert active["max"] == 1  # snapshots serialized
+    assert len(tokens) >= 3    # deferred firings still happened
+
+
+def test_scheduler_unblocks_after_aborted_snapshot():
+    eng = Engine(seed=3)
+    sched = Schedule.parse({"wallclock_time": [{"every": 0.1}]})
+    tokens = []
+
+    def trigger(reason):
+        token = eng.completion(10 * NS_PER_S, cancellable=True)
+        tokens.append(token)
+        return token
+
+    scheduler = SnapshotScheduler(eng, sched, trigger)
+    scheduler.start()
+    eng.run(until_ns=int(0.15 * NS_PER_S))
+    assert len(tokens) == 1
+    tokens[0].cancel()  # the snapshot aborted (e.g. rank failure)
+    eng.run(until_ns=NS_PER_S)
+    scheduler.stop()
+    assert len(tokens) >= 2  # scheduler recovered and fired again
+
+
+def test_simulation_time_rules_fire_on_progress():
+    eng = Engine(seed=4)
+    progress = {"v": 0}
+    sched = Schedule.parse({"simulation_time": [{"every": 10}]})
+    fired = []
+    scheduler = SnapshotScheduler(
+        eng, sched, lambda reason: fired.append(reason),
+        progress_fn=lambda: progress["v"] * NS_PER_S,
+        poll_ns=1_000_000,
+    )
+    scheduler.start()
+    eng.run(until_ns=5_000_000)
+    assert fired == []          # no progress yet
+    progress["v"] = 25          # crossed 10 and 20 -> one coalesced fire
+    eng.run(until_ns=10_000_000)
+    assert fired == ["simulation"]
+    progress["v"] = 31
+    eng.run(until_ns=15_000_000)
+    assert fired == ["simulation", "simulation"]
+    scheduler.stop()
+
+
+def test_finish_during_inflight_snapshot_still_takes_the_final_cut():
+    """Regression: finish() while a scheduled snapshot is in flight must
+    defer the at_end cut until it settles, not silently drop it."""
+    eng = Engine(seed=5)
+    sched = Schedule.parse({"wallclock_time": [{"every": 0.1}],
+                            "at_end": True})
+    fired = []
+
+    def trigger(reason):
+        fired.append(reason)
+        return eng.completion(int(0.3 * NS_PER_S), cancellable=True)
+
+    scheduler = SnapshotScheduler(eng, sched, trigger)
+    scheduler.start()
+    eng.run(until_ns=int(0.15 * NS_PER_S))  # first snapshot in flight
+    assert fired == ["wallclock"]
+    assert scheduler.finish() is None       # deferred behind the busy one
+    eng.run()
+    assert fired == ["wallclock", "at_end"]
+    assert eng.pending() == 0
+
+
+def test_at_end_and_progress_fn_validation():
+    eng = Engine()
+    with pytest.raises(DistSnapError, match="progress_fn"):
+        SnapshotScheduler(
+            eng, Schedule.parse({"simulation_time": [{"every": 1}]}),
+            lambda r: None,
+        )
+    fired = []
+    scheduler = SnapshotScheduler(
+        eng, Schedule.parse({"at_end": True}), lambda r: fired.append(r)
+    )
+    scheduler.start()
+    scheduler.finish()
+    assert fired == ["at_end"]

@@ -106,6 +106,54 @@ def test_engine_pending_never_negative_under_cancel_run_interleavings(
         assert (i in ran) != ev.cancelled
 
 
+@settings(**COMMON)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10**6),  # delay
+            st.booleans(),  # cancellable (labelled event) vs anonymous
+            # 0 leave alone, 1 cancel, 2 run-one-then-cancel, 3 double cancel
+            st.integers(min_value=0, max_value=3),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_engine_pending_exact_under_completion_abort_paths(specs):
+    """Abort-path extension of the pending invariant: Completion tokens
+    cancelled mid-flight -- the way a distributed-snapshot protocol
+    abandons its timers when a rank fails during the marker flood --
+    leave the live-event count exact.  Cancellable tokens pull their
+    timer off the schedule; anonymous tokens let it fire as a stale
+    no-op.  Either way every token settles exactly once (resolved XOR
+    cancelled) and the schedule drains to zero."""
+    eng = Engine()
+    tokens = [
+        eng.completion(d, value=i, cancellable=c)
+        for i, (d, c, _) in enumerate(specs)
+    ]
+    settled: list = []
+    for i, tok in enumerate(tokens):
+        tok.add_done_callback(lambda t, i=i: settled.append(i))
+    for tok, (_, _, action) in zip(tokens, specs):
+        if action == 0:
+            continue
+        if action == 2:
+            eng.run(max_events=1)
+        tok.cancel()
+        if action == 3:
+            tok.cancel()  # double cancel must stay a no-op
+        assert eng.pending() >= 0
+    eng.run()
+    assert eng.pending() == 0
+    # Exactly-once settlement, through resolution or cancellation.
+    assert sorted(settled) == list(range(len(tokens)))
+    for tok in tokens:
+        assert tok.done != tok.cancelled
+        if tok.cancelled:
+            assert tok.value is None  # stale resolve never landed
+
+
 # ----------------------------------------------------------------------
 # Memory
 # ----------------------------------------------------------------------
