@@ -33,8 +33,17 @@ PR's perf claims live here:
 * ``grid_runner`` -- wall-clock of an E12-style system-MTBF sweep:
   the pre-runner serial shape (one scheduled event per node per trial)
   vs the sharded :class:`~repro.runner.GridRunner` over
-  fleet-vectorized cells, cold-cache and warm-cache.  The acceptance
-  bar is a >=4x sweep speedup.
+  fleet-vectorized cells, cold-cache (single- and multi-worker, with
+  the real ``workers``/``cpu_count`` recorded) and warm-cache.  The
+  acceptance bar is a >=4x sweep speedup.
+* ``parallel_engine`` -- aggregate events/second of a failure-storm
+  fleet through the conservative time-windowed parallel engine
+  (:mod:`repro.simkernel.parallel`): 1 shard vs 4 shards in-process vs
+  4 shards over worker processes, with the folded ``repro.obs``
+  exports asserted byte-identical across all three.  The acceptance
+  bar is a >=3x aggregate events/s gain at 4 shards -- the win is
+  algorithmic (each fleet dispatch scans ``n/S`` nodes instead of
+  ``n``), so it holds even on a single-core runner.
 
 Results are written as JSON (default: ``BENCH_PERF.json`` at the repo
 root -- the committed baseline).  ``--check BASELINE.json`` compares the
@@ -424,20 +433,26 @@ def bench_engine(n: int, span_ns: int, repeats: int) -> Dict:
 # Grid runner: serial per-node-event sweep vs sharded fleet-cell sweep
 # ----------------------------------------------------------------------
 def bench_grid_runner(sizes: List[int], node_mtbf_s: float, n_trials: int,
-                      repeats: int) -> Dict:
-    """Wall-clock of an E12-style system-MTBF sweep, three ways.
+                      repeats: int, workers: Optional[int] = None) -> Dict:
+    """Wall-clock of an E12-style system-MTBF sweep, four ways.
 
     * ``serial``: the pre-runner shape -- every grid point schedules one
       engine event *per node* per trial (scalar time-to-failure draws,
       one closure each) and drains to the first failure.
     * ``runner_cold``: the same statistic through the sharded
       :class:`~repro.runner.GridRunner` over fleet-vectorized
-      ``e12_mtbf_cell`` cells, empty disk cache.
+      ``e12_mtbf_cell`` cells, empty disk cache, one worker.
+    * ``runner_cold_mp``: the cold sweep again over ``workers`` actual
+      worker processes (default ``min(4, cpu_count)``, floored at 2 so
+      the multiprocess path is always exercised; the real ``workers``
+      and ``cpu_count`` are recorded, so a 2-core CI runner's numbers
+      read as what they are).
     * ``runner_warm``: the identical sweep again -- pure cache hits.
 
-    The two runner paths produce byte-identical merged documents; the
-    speedup reported is serial vs cold (vectorization), with the warm
-    ratio showing what a re-run of an unchanged sweep costs.
+    All runner paths must produce byte-identical merged documents
+    (``deterministic`` covers worker-count invariance too); the speedup
+    reported is serial vs cold (vectorization), with the warm ratio
+    showing what a re-run of an unchanged sweep costs.
     """
     import os
     import shutil
@@ -471,17 +486,23 @@ def bench_grid_runner(sizes: List[int], node_mtbf_s: float, n_trials: int,
             for n in sizes
         ]
 
+    if workers is None:
+        workers = max(2, min(4, os.cpu_count() or 1))
+
     t_serial = best_of(serial_sweep, repeats)
 
     cache_dir = tempfile.mkdtemp(prefix="bench-grid-")
     try:
-        def cold() -> str:
+        def cold(w: int) -> str:
             shutil.rmtree(cache_dir, ignore_errors=True)
-            return grid_to_json(GridRunner(cache_dir=cache_dir).run(cells()))
+            return grid_to_json(
+                GridRunner(workers=w, cache_dir=cache_dir).run(cells()))
 
-        t_cold = best_of(cold, repeats)
-        doc_cold = cold()
-        warm_runner = GridRunner(cache_dir=cache_dir)
+        t_cold = best_of(lambda: cold(1), repeats)
+        doc_cold = cold(1)
+        t_cold_mp = best_of(lambda: cold(workers), repeats)
+        doc_cold_mp = cold(workers)
+        warm_runner = GridRunner(workers=workers, cache_dir=cache_dir)
         t_warm = best_of(lambda: grid_to_json(warm_runner.run(cells())),
                          repeats)
         doc_warm = grid_to_json(warm_runner.run(cells()))
@@ -492,14 +513,89 @@ def bench_grid_runner(sizes: List[int], node_mtbf_s: float, n_trials: int,
         "sizes": sizes,
         "node_mtbf_s": node_mtbf_s,
         "trials_per_size": n_trials,
-        "workers": 1,
+        "workers": workers,
         "cpu_count": os.cpu_count(),
         "serial_s": round(t_serial, 4),
         "runner_cold_s": round(t_cold, 4),
+        "runner_cold_mp_s": round(t_cold_mp, 4),
         "runner_warm_s": round(t_warm, 4),
         "speedup_cold": round(t_serial / t_cold, 2),
+        "speedup_cold_mp": round(t_serial / t_cold_mp, 2),
         "speedup_warm": round(t_serial / t_warm, 2),
-        "deterministic": doc_cold == doc_warm,
+        "deterministic": doc_cold == doc_cold_mp == doc_warm,
+    }
+
+
+# ----------------------------------------------------------------------
+# Conservative time-windowed parallel engine: failure-storm throughput
+# ----------------------------------------------------------------------
+def bench_parallel_engine(n_nodes: int, mtbf_s: float, horizon_s: float,
+                          repeats: int) -> Dict:
+    """Aggregate events/second of a failure-storm fleet, sharded.
+
+    The same seeded storm (``n_nodes`` nodes, low MTBF, fast repair --
+    every transition a dispatcher event) runs three ways: one shard,
+    four shards stepped in-process, and four shards over worker
+    processes.  ``speedup_4shard`` is the aggregate events/s ratio of
+    the 4-shard in-process run over the 1-shard run; it is dominated by
+    the O(``n/S``) fleet dispatch (each shard's dispatcher scans only
+    its own slice), so it exceeds the 3x acceptance bar even without
+    spare cores.  The process-backend row records the real ``workers``
+    and ``cpu_count`` so its number is interpretable on any runner.
+
+    ``byte_identical`` asserts the hard determinism gate inline: the
+    folded obs exports of all three runs are the same bytes.
+    """
+    import os
+
+    from repro.runner import run_parallel
+    from repro.simkernel.costs import NS_PER_S
+
+    params = {"n_nodes": n_nodes, "mtbf_s": mtbf_s, "repair_s": 30.0,
+              "model": "exp"}
+    meta = {"experiment": "bench-storm", "n_nodes": n_nodes, "seed": 17}
+    horizon_ns = int(horizon_s * NS_PER_S)
+    window_ns = 30 * NS_PER_S  # barrier every 30 simulated seconds
+    cpu = os.cpu_count() or 1
+    workers = max(2, min(4, cpu))
+
+    def storm(shards: int, nworkers: int):
+        return run_parallel(
+            "repro.cluster.scenarios:fleet_storm", params, 17,
+            n_shards=shards, horizon_ns=horizon_ns, window_ns=window_ns,
+            workers=nworkers, meta=meta,
+        )
+
+    def timed(shards: int, nworkers: int):
+        res = storm(shards, nworkers)
+        t = best_of(lambda: storm(shards, nworkers), repeats)
+        return res, t
+
+    res1, t1 = timed(1, 1)
+    res4, t4 = timed(4, 1)
+    res4p, t4p = timed(4, workers)
+
+    eps1 = res1.stats.events / t1
+    eps4 = res4.stats.events / t4
+    eps4p = res4p.stats.events / t4p
+    return {
+        "nodes": n_nodes,
+        "mtbf_s": mtbf_s,
+        "horizon_s": horizon_s,
+        "workers": workers,
+        "cpu_count": cpu,
+        "windows": res4.stats.windows,
+        "envelopes": res4.stats.exchanged,
+        "events_1shard": res1.stats.events,
+        "events_4shard": res4.stats.events,
+        "eps_1shard": round(eps1),
+        "eps_4shard": round(eps4),
+        "eps_4shard_procs": round(eps4p),
+        "speedup_4shard": round(eps4 / eps1, 2),
+        "speedup_4shard_procs": round(eps4p / eps1, 2),
+        "byte_identical": float(
+            res1.obs_json == res4.obs_json == res4p.obs_json
+        ),
     }
 
 
@@ -680,6 +776,10 @@ def run(repeats: int) -> Dict:
             sizes=[1024, 4096, 16384], node_mtbf_s=50.0, n_trials=10,
             repeats=max(1, repeats // 2),
         ),
+        "parallel_engine": bench_parallel_engine(
+            n_nodes=65536, mtbf_s=200_000.0, horizon_s=1800.0,
+            repeats=max(1, repeats // 2),
+        ),
         "pipeline": bench_pipeline(n_ckpts=6, chain_len=9),
         "distsnap": bench_distsnap(n=6, rate=15_000.0,
                                    repeats=max(1, repeats // 2)),
@@ -711,6 +811,16 @@ def check_regression(current: Dict, baseline_path: Path, max_regression: float) 
         guarded.append(("pipeline downtime overlap",
                         baseline["pipeline"]["overlap"],
                         current["pipeline"]["overlap"]))
+    if "parallel_engine" in baseline:
+        # byte_identical is a deterministic 1.0: any divergence between
+        # the 1-shard and N-shard folded exports fails the check
+        # outright (the ratio goes to infinity).
+        guarded.append(("parallel engine 1-vs-N byte identity",
+                        baseline["parallel_engine"]["byte_identical"],
+                        current["parallel_engine"]["byte_identical"]))
+        guarded.append(("parallel engine 4-shard speedup",
+                        baseline["parallel_engine"]["speedup_4shard"],
+                        current["parallel_engine"]["speedup_4shard"]))
     if "distsnap" in baseline:
         # exactly_once is a deterministic 1.0: any consistency break
         # drives the ratio to infinity and fails the check outright.

@@ -31,6 +31,7 @@ from repro.cluster import (
 )
 from repro.core.direction import AutonomicCheckpointer
 from repro.mechanisms import CRAK, Condor
+from repro.runner.experiments import e18_parallel_cell
 from repro.simkernel.costs import NS_PER_MS, NS_PER_S
 from repro.workloads import HotColdWriter
 from repro.reporting import render_table
@@ -96,6 +97,15 @@ def run_regime(key):
 SCALE_NODES = 65_536
 SCALE_KEY = f"direction forward @ {SCALE_NODES} nodes (lazy fleet)"
 
+# Sharded-engine rescale: fleet churn plus per-failure restart reads
+# against the sharded stable-storage tier, on the conservative
+# time-windowed parallel engine (4 shards).  The million-node row runs
+# a shorter horizon to stay CI-feasible.
+PARALLEL_ROWS = [
+    {"n_nodes": 262_144, "horizon_s": 3600.0},
+    {"n_nodes": 1_048_576, "horizon_s": 900.0},
+]
+
 
 def run_at_scale():
     """The direction-forward regime on a BlueGene/L-size machine.
@@ -133,6 +143,17 @@ def run_at_scale():
     }
 
 
+def run_parallel_fleet():
+    """The direction-forward fleet on the sharded parallel engine.
+
+    Background churn and the restart-read traffic it generates against
+    the sharded stable-storage tier come from one
+    :func:`~repro.runner.experiments.e18_parallel_cell` run per size --
+    the 1,048,576-node machine E18's table previously could not reach.
+    """
+    return [e18_parallel_cell(p, seed=18) for p in PARALLEL_ROWS]
+
+
 def measure():
     regimes = [
         "no checkpointing (scratch)",
@@ -142,11 +163,13 @@ def measure():
     ]
     out = {key: run_regime(key) for key in regimes}
     out[SCALE_KEY] = run_at_scale()
+    out["parallel"] = run_parallel_fleet()
     return out
 
 
 def test_e18_direction_forward(run_once):
     out = run_once(measure)
+    par = out.pop("parallel")
     rows = []
     for name, d in out.items():
         rows.append(
@@ -172,6 +195,21 @@ def test_e18_direction_forward(run_once):
         f"{scale['fleet_failures']} background node failures during the run, "
         f"{scale['materialized']} nodes ever materialized, "
         f"makespan {scale['makespan_s']:.3f} s."
+    )
+    text += "\n\n" + render_table(
+        ["nodes", "shards", "horizon s", "failures", "restart reads",
+         "restart acks", "availability", "windows", "envelopes"],
+        [
+            (d["n_nodes"], d["shards"], int(d["horizon_s"]), d["failures"],
+             d["restart_reads"], d["restart_acks"],
+             round(d["availability"], 6), d["windows"], d["envelopes"])
+            for d in par
+        ],
+        title=(
+            "Fleet scale on the sharded parallel engine: background "
+            "churn with per-failure restart reads from sharded stable "
+            "storage."
+        ),
     )
     report("e18_direction_forward", text)
 
@@ -205,3 +243,15 @@ def test_e18_direction_forward(run_once):
     assert scale["restarts"] >= 1
     assert scale["fleet_failures"] > 0
     assert scale["materialized"] <= N_RANKS + 3
+    # The sharded-engine rows: the 1,048,576-node machine is present,
+    # every failure's restart image read was served and acknowledged by
+    # the storage tier across the barrier exchange, and availability
+    # reflects real churn (below 1, above the repair-budget floor).
+    par_by_n = {d["n_nodes"]: d for d in par}
+    assert 1_048_576 in par_by_n
+    for d in par:
+        assert d["failures"] > 0
+        assert d["restart_reads"] == d["failures"]
+        assert d["restart_acks"] == d["restart_reads"]
+        assert d["envelopes"] > 0
+        assert 0.99 < d["availability"] < 1.0

@@ -6,10 +6,13 @@ from .failures import (
     ExponentialFailures,
     FailureModel,
     WeibullFailures,
+    indexed_uniforms,
     p_survive,
     system_mtbf_s,
 )
 from .fleet import NodeFleet
+from .partition import shard_of, shard_range, shard_ranges
+from .shardfleet import ShardFleet, trial_first_failure_s
 from .job import (
     CheckpointCoordinator,
     CommunicatingJob,
@@ -36,4 +39,10 @@ __all__ = [
     "CheckpointCoordinator",
     "CommunicatingJob",
     "BatchManager",
+    "indexed_uniforms",
+    "shard_ranges",
+    "shard_range",
+    "shard_of",
+    "ShardFleet",
+    "trial_first_failure_s",
 ]

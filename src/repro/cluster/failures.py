@@ -48,11 +48,59 @@ def p_survive(duration_s: float, node_mtbf_s: float, n_nodes: int) -> float:
     return math.exp(-lam * duration_s)
 
 
-class FailureModel:
-    """Base class: draws per-node times-to-failure (seconds)."""
+#: Splitmix64 constants for the counter-based per-node streams.
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_NODE_SALT = np.uint64(0xD1B54A32D192ED03)
+_DRAW_SALT = np.uint64(0x8CB92BA72F3D8DD7)
 
-    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finisher (full avalanche on uint64)."""
+    with np.errstate(over="ignore"):
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return x ^ (x >> np.uint64(31))
+
+
+def indexed_uniforms(
+    stream_seed: int, node_ids: np.ndarray, draw_index: np.ndarray
+) -> np.ndarray:
+    """Counter-based uniforms: draw ``i`` of node ``j`` is a pure
+    function of ``(stream_seed, j, i)``.
+
+    This is the per-node RNG substream discipline the sharded fleet
+    runs on: because a node's stream never depends on *which other
+    nodes share its generator*, any partitioning of the cohort across
+    shards reproduces the single-shard draws exactly -- no stream
+    jumping, no draw-order coupling.  Values are in ``[0, 1)`` with 53
+    bits of precision.
+    """
+    with np.errstate(over="ignore"):
+        x = (
+            np.uint64(stream_seed & 0xFFFFFFFFFFFFFFFF) * _GOLDEN
+            ^ node_ids.astype(np.uint64) * _NODE_SALT
+            ^ draw_index.astype(np.uint64) * _DRAW_SALT
+        )
+    return (_mix64(x) >> np.uint64(11)).astype(np.float64) * (2.0 ** -53)
+
+
+class FailureModel:
+    """Base class: draws per-node times-to-failure (seconds).
+
+    ``stream_seed`` opts the model into the *indexed* (counter-based)
+    per-node streams used by the sharded fleet path
+    (:meth:`draw_ttf_indexed`); the sequential ``rng`` stream is
+    untouched by indexed draws, so the two disciplines never perturb
+    each other.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        stream_seed: Optional[int] = None,
+    ) -> None:
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stream_seed = stream_seed
 
     def draw_ttf_s(self) -> float:
         """Sample one time-to-failure, in seconds."""
@@ -69,6 +117,30 @@ class FailureModel:
         """
         return np.array([self.draw_ttf_s() for _ in range(n)], dtype=np.float64)
 
+    def _indexed_u(self, node_ids: np.ndarray, draw_index: np.ndarray) -> np.ndarray:
+        if self.stream_seed is None:
+            raise ClusterError(
+                "indexed draws need a model built with stream_seed="
+            )
+        ids = np.asarray(node_ids, dtype=np.int64)
+        idx = np.asarray(draw_index, dtype=np.int64)
+        if idx.shape != ids.shape:
+            idx = np.broadcast_to(idx, ids.shape)
+        return indexed_uniforms(self.stream_seed, ids, idx)
+
+    def draw_ttf_indexed(
+        self, node_ids: np.ndarray, draw_index: np.ndarray
+    ) -> np.ndarray:
+        """Times-to-failure from the counter-based per-node streams.
+
+        ``draw_index[k]`` selects which draw of node ``node_ids[k]``'s
+        private stream to take (0 for the initial arming, 1 after the
+        first repair, ...).  Shard-partitioning the ids in any way
+        reproduces the exact same values, which is the property the
+        1-vs-N-shard byte-identity gate rests on.
+        """
+        raise NotImplementedError
+
     def draws(self, n: int) -> Iterator[float]:
         """Sample ``n`` independent times-to-failure."""
         for _ in range(n):
@@ -78,8 +150,13 @@ class FailureModel:
 class ExponentialFailures(FailureModel):
     """Memoryless node failures with the given MTBF."""
 
-    def __init__(self, mtbf_s: float, rng: Optional[np.random.Generator] = None) -> None:
-        super().__init__(rng)
+    def __init__(
+        self,
+        mtbf_s: float,
+        rng: Optional[np.random.Generator] = None,
+        stream_seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(rng, stream_seed=stream_seed)
         if mtbf_s <= 0:
             raise ClusterError("MTBF must be positive")
         self.mtbf_s = mtbf_s
@@ -92,6 +169,14 @@ class ExponentialFailures(FailureModel):
         ``n`` scalar draws)."""
         return self.rng.exponential(self.mtbf_s, size=n)
 
+    def draw_ttf_indexed(
+        self, node_ids: np.ndarray, draw_index: np.ndarray
+    ) -> np.ndarray:
+        """Inverse-CDF exponential on the per-node uniform streams."""
+        u = self._indexed_u(node_ids, draw_index)
+        # -log1p(-u): exact for u in [0, 1), never log(0).
+        return -self.mtbf_s * np.log1p(-u)
+
 
 class WeibullFailures(FailureModel):
     """Weibull node failures (shape < 1: infant mortality, the empirically
@@ -102,8 +187,9 @@ class WeibullFailures(FailureModel):
         mtbf_s: float,
         shape: float = 0.7,
         rng: Optional[np.random.Generator] = None,
+        stream_seed: Optional[int] = None,
     ) -> None:
-        super().__init__(rng)
+        super().__init__(rng, stream_seed=stream_seed)
         if mtbf_s <= 0 or shape <= 0:
             raise ClusterError("MTBF and shape must be positive")
         self.shape = shape
@@ -118,3 +204,10 @@ class WeibullFailures(FailureModel):
         """One vectorized draw for the whole cohort (same stream as
         ``n`` scalar draws)."""
         return self.scale * self.rng.weibull(self.shape, size=n)
+
+    def draw_ttf_indexed(
+        self, node_ids: np.ndarray, draw_index: np.ndarray
+    ) -> np.ndarray:
+        """Inverse-CDF Weibull on the per-node uniform streams."""
+        u = self._indexed_u(node_ids, draw_index)
+        return self.scale * (-np.log1p(-u)) ** (1.0 / self.shape)

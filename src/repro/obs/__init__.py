@@ -24,6 +24,7 @@ documents.
 """
 
 from .export import SCHEMA_VERSION, export_obs, to_json, validate_export
+from .fold import fold_exports, strip_metrics
 from .metrics import (
     BYTES_BUCKETS,
     Counter,
@@ -47,4 +48,6 @@ __all__ = [
     "export_obs",
     "to_json",
     "validate_export",
+    "fold_exports",
+    "strip_metrics",
 ]

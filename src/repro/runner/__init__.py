@@ -10,6 +10,7 @@ cells.  See :mod:`repro.runner.grid` for the contract.
 from .cache import DiskCache
 from .grid import Cell, GridRunner, cache_key
 from .merge import grid_to_json, merge_results
+from .parallel import ParallelResult, ProcessShardGroup, run_parallel
 
 __all__ = [
     "Cell",
@@ -18,4 +19,7 @@ __all__ = [
     "cache_key",
     "merge_results",
     "grid_to_json",
+    "ParallelResult",
+    "ProcessShardGroup",
+    "run_parallel",
 ]

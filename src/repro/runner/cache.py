@@ -50,6 +50,10 @@ class DiskCache:
         try:
             with os.fdopen(fd, "w") as fh:
                 fh.write(payload)
+                fh.flush()
+                # Durable before visible: without the fsync a crash right
+                # after the rename can leave an empty (but named) entry.
+                os.fsync(fh.fileno())
             os.replace(tmp, self._path(key))
         except BaseException:
             try:
@@ -59,9 +63,11 @@ class DiskCache:
             raise
 
     def clear(self) -> int:
-        """Drop every cached entry; returns how many were removed."""
+        """Drop every cached entry, including ``*.tmp`` files orphaned
+        by writers killed mid-``put``; returns how many were removed."""
         n = 0
-        for path in self.root.glob("*.json"):
-            path.unlink(missing_ok=True)
-            n += 1
+        for pattern in ("*.json", "*.tmp"):
+            for path in self.root.glob(pattern):
+                path.unlink(missing_ok=True)
+                n += 1
         return n

@@ -25,6 +25,7 @@ from ..cluster import (
     ExponentialFailures,
     NodeFleet,
     ParallelJob,
+    trial_first_failure_s,
 )
 from ..core.direction import AutonomicCheckpointer
 from ..mechanisms import UCLiK
@@ -33,8 +34,16 @@ from ..reporting import render_replication_table, render_timeline
 from ..simkernel.costs import NS_PER_MS, NS_PER_S
 from ..simkernel.engine import Engine
 from ..workloads import SparseWriter
+from .parallel import run_parallel
 
-__all__ = ["e12_mtbf_cell", "e13_survivability_cell", "e19_replication_cell"]
+__all__ = [
+    "e12_mtbf_cell",
+    "e12_parallel_cell",
+    "e13_survivability_cell",
+    "e18_parallel_cell",
+    "e19_replication_cell",
+    "e22_parallel_cell",
+]
 
 
 def _writer(rank: int) -> SparseWriter:
@@ -89,6 +98,144 @@ def e12_mtbf_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
             meta={"experiment": "e12", "n_nodes": n_nodes, "seed": seed},
             now_ns=eng.now_ns,
         ),
+    }
+
+
+# ----------------------------------------------------------------------
+# E12 at fleet scale: sharded conservative-window runs
+# ----------------------------------------------------------------------
+def e12_parallel_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """E12 rescaled past one core: MTBF of 262,144- and 1,048,576-node
+    machines on the sharded engine.
+
+    Distributional trials read the counter-based per-node streams
+    directly (:func:`~repro.cluster.trial_first_failure_s` -- one
+    vectorized draw per trial, shard-partition-invariant by
+    construction); one engine-driven :func:`run_parallel` probe run
+    with ``stop_on_first_failure`` produces the folded obs export the
+    1-vs-N byte-identity gate covers.
+    """
+    n_nodes = int(params["n_nodes"])
+    node_mtbf_s = float(params["node_mtbf_s"])
+    n_trials = int(params.get("n_trials", 50))
+    shards = int(params.get("shards", 4))
+    system_mtbf_s = node_mtbf_s / n_nodes
+
+    model = ExponentialFailures(node_mtbf_s, stream_seed=seed)
+    ttfs = [trial_first_failure_s(model, 0, n_nodes, t)
+            for t in range(n_trials)]
+
+    probe = run_parallel(
+        "repro.cluster.scenarios:fleet_storm",
+        {"n_nodes": n_nodes, "mtbf_s": node_mtbf_s, "repair_s": 1e12,
+         "stop_on_first_failure": True},
+        seed,
+        n_shards=shards,
+        horizon_ns=int(100 * system_mtbf_s * NS_PER_S),
+        window_ns=max(1, int(system_mtbf_s * NS_PER_S) // 4),
+        meta={"experiment": "e12p", "n_nodes": n_nodes, "seed": seed},
+    )
+    firsts = [r["first_failure_ns"] for r in probe.shard_results
+              if r["first_failure_ns"] is not None]
+    return {
+        "n_nodes": n_nodes,
+        "node_mtbf_s": node_mtbf_s,
+        "n_trials": n_trials,
+        "shards": shards,
+        "sim_system_mtbf_s": float(np.mean(ttfs)),
+        "analytic_system_mtbf_s": system_mtbf_s,
+        "first_failure_ns": min(firsts) if firsts else None,
+        "windows": probe.stats.windows,
+        "obs": probe.obs,
+    }
+
+
+# ----------------------------------------------------------------------
+# E18 at fleet scale: failure churn plus storage restart traffic
+# ----------------------------------------------------------------------
+def e18_parallel_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """E18's direction-forward fleet rescaled onto the sharded engine:
+    every failure pulls a restart image from the sharded stable-storage
+    tier, so availability and storage load come from one run."""
+    n_nodes = int(params["n_nodes"])
+    shards = int(params.get("shards", 4))
+    horizon_s = float(params.get("horizon_s", 3600.0))
+    propagation_ns = int(params.get("propagation_ns", NS_PER_MS))
+    run_params = {
+        "n_nodes": n_nodes,
+        "mtbf_s": float(params.get("mtbf_s", 3.0e5)),
+        "repair_s": float(params.get("repair_s", 300.0)),
+        "model": params.get("model", "exp"),
+        "n_servers": int(params.get("n_servers", 16)),
+        "image_bytes": int(params.get("image_bytes", 1 << 26)),
+        "propagation_ns": propagation_ns,
+        "service_floor_ns": int(params.get("service_floor_ns", NS_PER_MS)),
+        "ns_per_byte": float(params.get("ns_per_byte", 0.01)),
+    }
+    res = run_parallel(
+        "repro.cluster.scenarios:fleet_restart_traffic",
+        run_params, seed,
+        n_shards=shards,
+        horizon_ns=int(horizon_s * NS_PER_S),
+        lookahead_ns=propagation_ns,
+        meta={"experiment": "e18p", "n_nodes": n_nodes, "seed": seed},
+    )
+    downtime_ns = sum(r["downtime_ns"] for r in res.shard_results)
+    counters = res.obs["metrics"]["counters"]
+    return {
+        "n_nodes": n_nodes,
+        "shards": shards,
+        "horizon_s": horizon_s,
+        "failures": counters.get("fleet.failures", 0),
+        "restart_reads": counters.get("sstore.requests", 0),
+        "restart_acks": counters.get("sstore.acks", 0),
+        "restart_bytes": counters.get("sstore.req_bytes", 0),
+        "availability": 1.0 - downtime_ns / (n_nodes * horizon_s * NS_PER_S),
+        "windows": res.stats.windows,
+        "envelopes": res.stats.exchanged,
+        "obs": res.obs,
+    }
+
+
+# ----------------------------------------------------------------------
+# E22 stressor: all-cross-shard ring traffic
+# ----------------------------------------------------------------------
+def e22_parallel_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Ring-traffic stressor: every message hop crosses the barrier
+    exchange, and the order-invariant xor digest proves exactly-once
+    delivery independent of shard count."""
+    n_ranks = int(params.get("n_ranks", 64))
+    shards = int(params.get("shards", 4))
+    hop_ns = int(params.get("hop_ns", 50_000))
+    run_params = {
+        "n_ranks": n_ranks,
+        "hop_ns": hop_ns,
+        "hops": int(params.get("hops", 8)),
+        "msgs_per_rank": int(params.get("msgs_per_rank", 4)),
+    }
+    res = run_parallel(
+        "repro.cluster.scenarios:ring_traffic",
+        run_params, seed,
+        n_shards=shards,
+        horizon_ns=int(params.get("horizon_ns", NS_PER_S)),
+        lookahead_ns=hop_ns,
+        meta={"experiment": "e22p", "n_ranks": n_ranks, "seed": seed},
+    )
+    digest = 0
+    for r in res.shard_results:
+        digest ^= r["digest"]
+    counters = res.obs["metrics"]["counters"]
+    return {
+        "n_ranks": n_ranks,
+        "shards": shards,
+        "sent": counters.get("ring.sent", 0),
+        "recv": counters.get("ring.recv", 0),
+        "exactly_once": counters.get("ring.sent", 0) ==
+        counters.get("ring.recv", -1),
+        "digest": f"{digest:016x}",
+        "windows": res.stats.windows,
+        "envelopes": res.stats.exchanged,
+        "obs": res.obs,
     }
 
 

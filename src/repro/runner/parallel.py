@@ -1,0 +1,376 @@
+"""Parallel scenario runner: worker processes driving engine shards.
+
+This is the process backend for :mod:`repro.simkernel.parallel` plus
+the one entry point experiments call:
+
+:func:`run_parallel`
+    Build ``n_shards`` shard contexts from a scenario factory, drive
+    them through conservative windows to the horizon, export each
+    shard's ``repro.obs`` document and fold them into one canonical
+    document (:mod:`repro.obs.fold`).  ``workers=1`` steps every shard
+    in-process (:class:`~repro.simkernel.parallel.LocalShardGroup` --
+    the determinism reference); ``workers > 1`` spreads shards over
+    **persistent worker processes** talking length-delimited pickles
+    over pipes.
+
+The worker protocol is four verbs -- ``status`` / ``window`` /
+``deliver`` / ``export`` -- broadcast to all workers and then collected
+from all, so shards advance concurrently between barriers.  Workers are
+persistent (spawned once per run, not per window): at a few hundred
+windows per run, per-window process spawning would dominate the
+simulation itself.
+
+Determinism: the driver loop, the barrier exchange and the canonical
+envelope ordering are identical for both backends, and scenario
+factories are shipped as ``"module:function"`` dotted names re-imported
+in the worker -- the same discipline :mod:`repro.runner.grid` uses --
+so the folded export is byte-identical across ``workers`` *and* across
+``n_shards`` (the hard gate; see ``benchmarks/perf/check_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..errors import SimulationError
+from ..obs import MetricsRegistry, export_obs, to_json
+from ..obs.fold import fold_exports, strip_metrics
+from ..simkernel.engine import Engine
+from ..simkernel.parallel import (
+    Envelope,
+    LocalShardGroup,
+    ParallelError,
+    ShardContext,
+    ShardGroup,
+    WindowReply,
+    WindowStats,
+    run_windows,
+)
+
+__all__ = ["ParallelResult", "ProcessShardGroup", "run_parallel"]
+
+FactorySpec = Any  # callable or "module:function" dotted name
+
+
+def _resolve_factory(spec: FactorySpec) -> Callable:
+    """Accept a top-level callable or a ``"module:function"`` name."""
+    if callable(spec):
+        name = getattr(spec, "__qualname__", "")
+        if "<" in name or "." in name:
+            raise ParallelError(
+                f"scenario factory {name!r} must be an importable top-level "
+                "function (workers re-import it by name)"
+            )
+        return spec
+    if isinstance(spec, str) and ":" in spec:
+        module, _, attr = spec.partition(":")
+        import importlib
+
+        return getattr(importlib.import_module(module), attr)
+    raise ParallelError(f"bad scenario factory spec {spec!r}")
+
+
+def _factory_name(spec: FactorySpec) -> str:
+    fn = _resolve_factory(spec)
+    return f"{fn.__module__}:{fn.__qualname__}"
+
+
+def _build_shard(
+    factory: Callable,
+    params: Mapping[str, Any],
+    seed: int,
+    shard_id: int,
+    n_shards: int,
+    lookahead_ns: Optional[int],
+) -> tuple:
+    engine = Engine(seed=seed)
+    ctx = ShardContext(engine, shard_id, n_shards, lookahead_ns=lookahead_ns)
+    scenario = factory(ctx, dict(params), seed)
+    return ctx, scenario
+
+
+# ----------------------------------------------------------------------
+# Worker side (module-level: picklable by reference under spawn)
+# ----------------------------------------------------------------------
+def _worker_main(
+    conn,
+    paths: List[str],
+    factory_name: str,
+    params: Dict[str, Any],
+    seed: int,
+    shard_ids: List[int],
+    n_shards: int,
+    lookahead_ns: Optional[int],
+) -> None:
+    for p in reversed(paths):
+        if p not in sys.path:
+            sys.path.insert(0, p)
+    factory = _resolve_factory(factory_name)
+    shards = {
+        sid: _build_shard(factory, params, seed, sid, n_shards, lookahead_ns)
+        for sid in shard_ids
+    }
+    try:
+        while True:
+            msg = conn.recv()
+            verb = msg[0]
+            if verb == "status":
+                conn.send([(sid, ctx.next_time_ns())
+                           for sid, (ctx, _) in shards.items()])
+            elif verb == "window":
+                end_ns = msg[1]
+                out = []
+                for sid, (ctx, scenario) in shards.items():
+                    outbox, processed = ctx.run_window(end_ns)
+                    stop = bool(getattr(scenario, "stop", lambda: False)())
+                    out.append((sid, WindowReply(outbox, ctx.next_time_ns(),
+                                                 processed, stop)))
+                conn.send(out)
+            elif verb == "deliver":
+                inbox_map = msg[1]
+                out = []
+                for sid, envs in inbox_map.items():
+                    ctx, _ = shards[sid]
+                    ctx.deliver(envs)
+                    out.append((sid, ctx.next_time_ns()))
+                conn.send(out)
+            elif verb == "export":
+                meta = msg[1]
+                out = []
+                for sid, (ctx, scenario) in shards.items():
+                    doc = export_obs(ctx.engine.metrics,
+                                     tracer=ctx.engine.tracer,
+                                     meta=meta, now_ns=ctx.engine.now_ns)
+                    result = getattr(scenario, "result", lambda: None)()
+                    out.append((sid, doc, result))
+                conn.send(out)
+            elif verb == "exit":
+                break
+            else:  # pragma: no cover - protocol guard
+                raise SimulationError(f"unknown worker verb {verb!r}")
+    finally:
+        conn.close()
+
+
+class ProcessShardGroup(ShardGroup):
+    """Shards spread over persistent worker processes.
+
+    Shard ``i`` lives on worker ``i % workers`` (so a 4-shard run with
+    4 workers is one shard per process).  Every lockstep operation is
+    broadcast to all workers first and collected second -- the collect
+    order is by worker index, and replies are re-sorted by shard id, so
+    the driver sees the exact same reply layout as the local group.
+    """
+
+    def __init__(
+        self,
+        factory: FactorySpec,
+        params: Mapping[str, Any],
+        seed: int,
+        *,
+        n_shards: int,
+        lookahead_ns: Optional[int],
+        workers: int,
+    ) -> None:
+        if workers < 1:
+            raise ParallelError("need at least one worker")
+        self.size = int(n_shards)
+        workers = min(workers, self.size)
+        name = _factory_name(factory)
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context("spawn")
+        self._conns = []
+        self._procs = []
+        owned = [[sid for sid in range(self.size) if sid % workers == w]
+                 for w in range(workers)]
+        for shard_ids in owned:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, list(sys.path), name, dict(params), seed,
+                      shard_ids, self.size, lookahead_ns),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    def _broadcast(self, msg: tuple, conns=None) -> List[Any]:
+        conns = self._conns if conns is None else conns
+        for conn in conns:
+            conn.send(msg)
+        merged: List[Any] = []
+        for conn in conns:
+            merged.extend(conn.recv())
+        return merged
+
+    def status_all(self) -> List[Optional[int]]:
+        """Each shard's next pending event time (None when drained)."""
+        replies = dict(self._broadcast(("status",)))
+        return [replies[sid] for sid in range(self.size)]
+
+    def window_all(self, end_ns: int) -> List[WindowReply]:
+        """Run every shard to ``end_ns``; one reply per shard."""
+        replies = dict(self._broadcast(("window", end_ns)))
+        return [replies[sid] for sid in range(self.size)]
+
+    def deliver_all(
+        self, inboxes: List[List[Envelope]]
+    ) -> List[Optional[int]]:
+        """Hand each shard its inbox; only workers holding a non-empty
+        inbox are contacted.  Returns the post-delivery next-event time
+        for shards that received anything (None entries elsewhere)."""
+        nexts: List[Optional[int]] = [None] * self.size
+        conns = []
+        for w, conn in enumerate(self._conns):
+            inbox_map = {
+                sid: inboxes[sid]
+                for sid in range(w, self.size, len(self._conns))
+                if inboxes[sid]
+            }
+            if inbox_map:
+                conn.send(("deliver", inbox_map))
+                conns.append(conn)
+        for conn in conns:
+            for sid, t in conn.recv():
+                nexts[sid] = t
+        return nexts
+
+    def export_all(self, meta: Mapping[str, Any]):
+        """Collect per-shard obs documents and scenario results, in
+        shard-id order regardless of worker layout."""
+        replies = self._broadcast(("export", dict(meta)))
+        replies.sort(key=lambda r: r[0])
+        return ([doc for _, doc, _ in replies],
+                [result for _, _, result in replies])
+
+    def close(self) -> None:
+        """Shut the workers down (terminate any that hang on join)."""
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+                conn.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - hung worker guard
+                proc.terminate()
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+@dataclass
+class ParallelResult:
+    """Everything one parallel run produces.
+
+    ``obs`` is the folded, engine-metric-stripped document the
+    byte-identity gate covers (``obs_json`` is its canonical
+    serialization).  ``barrier_obs`` carries the topology-dependent
+    ``parallel.*`` window metrics and deliberately stays out of
+    ``obs``.
+    """
+
+    obs: Dict[str, Any]
+    obs_json: str
+    shard_obs: List[Dict[str, Any]]
+    shard_results: List[Any]
+    stats: WindowStats
+    barrier_obs: Dict[str, Any] = field(default_factory=dict)
+
+
+def run_parallel(
+    factory: FactorySpec,
+    params: Mapping[str, Any],
+    seed: int,
+    *,
+    n_shards: int,
+    horizon_ns: int,
+    lookahead_ns: Optional[int] = None,
+    window_ns: Optional[int] = None,
+    workers: int = 1,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> ParallelResult:
+    """Run one sharded scenario to ``horizon_ns`` and fold its exports.
+
+    Parameters
+    ----------
+    factory:
+        Scenario factory (see :mod:`repro.cluster.scenarios`) -- a
+        top-level callable or ``"module:function"`` dotted name.
+    n_shards:
+        How many engine shards to partition the scenario into.  The
+        folded export must not depend on this value; that is the gate.
+    lookahead_ns:
+        Cross-shard latency floor.  None means the scenario has no
+        cross-shard channels (sends would raise).
+    window_ns:
+        Barrier spacing.  Defaults to the lookahead; may be smaller
+        (tighter stop-flag sampling) but never larger.  With neither
+        set, the run is one window to the horizon.
+    workers:
+        1 = in-process reference backend; >1 = persistent worker
+        processes (capped at ``n_shards``).
+    meta:
+        Experiment metadata stamped into every shard's export.  Must be
+        shard-invariant (the fold enforces it).
+    """
+    if window_ns is None:
+        window_ns = lookahead_ns
+    if (window_ns is not None and lookahead_ns is not None
+            and window_ns > lookahead_ns):
+        raise ParallelError(
+            f"window {window_ns} exceeds lookahead {lookahead_ns}: the "
+            "conservative condition would not hold"
+        )
+    meta = dict(meta or {})
+    registry = MetricsRegistry()
+
+    if workers == 1:
+        fn = _resolve_factory(factory)
+        shards = [
+            _build_shard(fn, params, seed, sid, n_shards, lookahead_ns)
+            for sid in range(n_shards)
+        ]
+        group: Any = LocalShardGroup(shards)
+        stats = run_windows(group, horizon_ns=horizon_ns,
+                            window_ns=window_ns, registry=registry)
+        shard_obs = [
+            export_obs(ctx.engine.metrics, tracer=ctx.engine.tracer,
+                       meta=meta, now_ns=ctx.engine.now_ns)
+            for ctx, _ in shards
+        ]
+        shard_results = [
+            getattr(scenario, "result", lambda: None)()
+            for _, scenario in shards
+        ]
+    else:
+        group = ProcessShardGroup(
+            factory, params, seed,
+            n_shards=n_shards, lookahead_ns=lookahead_ns, workers=workers,
+        )
+        try:
+            stats = run_windows(group, horizon_ns=horizon_ns,
+                                window_ns=window_ns, registry=registry)
+            shard_obs, shard_results = group.export_all(meta)
+        finally:
+            group.close()
+
+    folded = fold_exports([strip_metrics(doc) for doc in shard_obs])
+    barrier_obs = registry.to_dict()
+    return ParallelResult(
+        obs=folded,
+        obs_json=to_json(folded),
+        shard_obs=shard_obs,
+        shard_results=shard_results,
+        stats=stats,
+        barrier_obs=barrier_obs,
+    )

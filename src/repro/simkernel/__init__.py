@@ -29,6 +29,17 @@ from .engine import Completion, Engine
 from .kernel import Kernel
 from .memory import AddressSpace, PageFlag, Prot, VMA, VMAKind
 from .modules import KernelModule, install_static
+from .parallel import (
+    Envelope,
+    LocalShardGroup,
+    ParallelError,
+    ShardContext,
+    ShardGroup,
+    WindowReply,
+    WindowStats,
+    derive_lookahead,
+    run_windows,
+)
 from .process import (
     FileDescriptor,
     Mode,
@@ -79,4 +90,13 @@ __all__ = [
     "RegularFile",
     "SocketFile",
     "VFS",
+    "Envelope",
+    "ShardContext",
+    "ShardGroup",
+    "LocalShardGroup",
+    "WindowReply",
+    "WindowStats",
+    "ParallelError",
+    "derive_lookahead",
+    "run_windows",
 ]

@@ -495,6 +495,52 @@ class Engine:
         reap/compaction (memory-bound diagnostics; O(1))."""
         return self._seq - self._ndone + self._n_cancelled
 
+    def next_time_ns(self) -> Optional[int]:
+        """Earliest stored entry time, or None when the schedule is empty.
+
+        This is the lower-bound peek the conservative parallel engine
+        uses to place the next lockstep window: cancelled-but-unreaped
+        entries are counted (their time is still a valid lower bound, so
+        a window placed on one is merely empty, never unsafe).  Cost is
+        one bitmap scan plus a min over the first non-empty bucket --
+        never a full walk of the schedule.
+        """
+        best: Optional[int] = None
+        if self._cur_idx < len(self._cur):
+            best = self._cur[self._cur_idx][0]
+        if self._side:
+            t = self._side[0][0]
+            if best is None or t < best:
+                best = t
+        # Entries in cur/side are at or before the cursor slot; wheel
+        # buckets and the far heap hold strictly later slots, so the
+        # first hit wins at each level.
+        if best is not None:
+            return best
+        pos = self._pos
+        if self._l0_map:
+            start = (pos + 1) & _MASK
+            m = self._l0_map >> start
+            if m:
+                bidx = (start + ((m & -m).bit_length() - 1)) & _MASK
+            else:
+                m = self._l0_map & ((1 << start) - 1)
+                bidx = (m & -m).bit_length() - 1
+            return min(e[0] for e in self._l0[bidx])
+        if self._l1_map:
+            p1 = pos >> 8
+            start = (p1 + 1) & _MASK
+            m = self._l1_map >> start
+            if m:
+                b1 = (start + ((m & -m).bit_length() - 1)) & _MASK
+            else:
+                m = self._l1_map & ((1 << start) - 1)
+                b1 = (m & -m).bit_length() - 1
+            return min(e[0] for e in self._l1[b1])
+        if self._far:
+            return self._far[0][0]
+        return None
+
     def _release(self, ev: Event) -> None:
         """Return a pooled Event to the slab."""
         pool = self._pool

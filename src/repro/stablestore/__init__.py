@@ -31,6 +31,7 @@ from .pipeline import WritebackPipeline
 from .repair import ReplicationRepairer
 from .replicated import ReplicatedStore, ReplicaWriteStream
 from .server import StorageCluster, StorageServer, StorageServerState
+from .shardsvc import ShardStorageService, server_home_shard
 
 __all__ = [
     "StorageServer",
@@ -44,4 +45,6 @@ __all__ = [
     "ImageManifest",
     "DedupWriteStream",
     "WritebackPipeline",
+    "ShardStorageService",
+    "server_home_shard",
 ]

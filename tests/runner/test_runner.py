@@ -174,3 +174,25 @@ class TestDiskCache:
         assert r.computed == 2
         r.run(_grid(2))
         assert r.computed == 2
+
+    def test_clear_removes_orphaned_tmp_files(self, tmp_path):
+        """A writer killed between mkstemp and rename leaves a ``*.tmp``
+        behind; clear() must sweep it along with the entries."""
+        cache = DiskCache(tmp_path)
+        cache.put("k", {"v": 1})
+        (tmp_path / "orphan123.tmp").write_text('{"v":')
+        assert cache.clear() == 2
+        assert list(tmp_path.iterdir()) == []
+
+    def test_put_never_leaves_partial_entries_visible(self, tmp_path):
+        """put() goes through tempfile + os.replace: at no point is a
+        half-written entry readable under the final name, and a failed
+        serialization leaves no droppings at all."""
+        cache = DiskCache(tmp_path)
+        with pytest.raises(TypeError):
+            cache.put("bad", {"v": object()})
+        assert cache.get("bad") is None
+        assert list(tmp_path.glob("*.tmp")) == []
+        cache.put("good", {"v": 2})
+        assert cache.get("good") == {"v": 2}
+        assert list(tmp_path.glob("*.tmp")) == []

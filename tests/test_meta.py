@@ -32,6 +32,11 @@ _DOCUMENTED_IN_BASE = {
     "store",
     "load",
     "size",
+    # ShardGroup interface (simkernel/parallel.py documents the
+    # contract; backends implement it).
+    "status_all",
+    "window_all",
+    "deliver_all",
 }
 
 
