@@ -763,6 +763,95 @@ def bench_distsnap(n: int, rate: float, repeats: int) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Multi-level stable storage: erasure codec cost and hierarchy identity
+# ----------------------------------------------------------------------
+def bench_storage_hierarchy(payload_kib: int, repeats: int) -> Dict:
+    """Wall cost of the pure-python Reed-Solomon codec plus the
+    deterministic correctness ratios the E23 acceptance bars rest on.
+
+    The throughput rows (encode, degraded decode) are real wall-clock
+    and guard the GF(2^8) table path; the survival/ratio/identity rows
+    are virtual-time or exact counts -- any drift is a real behavior
+    change in the erasure tier or the hierarchy's pass-through.
+    """
+    from repro.obs import export_obs, strip_metrics, to_json
+    from repro.simkernel.engine import Engine
+    from repro.stablestore import (
+        ErasureStore, HierarchicalStore, ReplicatedStore, StorageCluster,
+        StorageLevel, rs_decode, rs_encode,
+    )
+
+    k, m = 4, 2
+    blob = bytes(range(256)) * (payload_kib * 4)  # payload_kib KiB
+
+    t_enc = best_of(lambda: rs_encode(blob, k, m), repeats)
+    shards = rs_encode(blob, k, m)
+    worst = {i: shards[i] for i in range(m, k + m)}  # all parity in play
+    t_dec = best_of(lambda: rs_decode(worst, k, m, len(blob)), repeats)
+    assert rs_decode(worst, k, m, len(blob)) == blob
+
+    # Exhaustive m-failure survival of a simulated k+m group.
+    small = blob[:4096]
+    tested = survived = 0
+    for combo in itertools.combinations(range(k + m), m):
+        engine = Engine(seed=23)
+        store = ErasureStore(StorageCluster(engine, n_servers=k + m),
+                             data_shards=k, parity_shards=m)
+        store.store("e/1/1", small, len(small), 0)
+        for sid in combo:
+            store.storage.fail_server(sid)
+        tested += 1
+        if store.load("e/1/1", 10**9)[0] == small:
+            survived += 1
+
+    # Physical bytes vs rf=3 replication for the same logical blob.
+    e1 = Engine(seed=23)
+    rep = ReplicatedStore(StorageCluster(e1, n_servers=6), replication=3)
+    rep.store("m/1/1", small, len(small), 0)
+    e2 = Engine(seed=23)
+    ec = ErasureStore(StorageCluster(e2, n_servers=6),
+                      data_shards=k, parity_shards=m)
+    ec.store("m/1/1", small, len(small), 0)
+    ratio = ec.physical_bytes() / rep.physical_bytes()
+
+    # Depth<=1 hierarchy exports byte-identically to the bare store.
+    def exercise(store, engine):
+        for i in range(4):
+            store.store(f"m/{i}/1", small, len(small), 0)
+        for i in range(4):
+            store.load(f"m/{i}/1", 10**8)
+            store.load_fanout(f"m/{i}/1", 2 * 10**8)
+        st = store.open_stream("m/9/1", 0)
+        st.send(4096, 0)
+        st.commit(small, len(small), 10**6)
+        doc = export_obs(engine.metrics, meta={"bench": "hier-identity"},
+                         now_ns=engine.now_ns)
+        return to_json(strip_metrics(doc, prefixes=("hierarchy.",)))
+
+    eb = Engine(seed=7)
+    bare = ReplicatedStore(StorageCluster(eb, n_servers=3), replication=2)
+    ew = Engine(seed=7)
+    wrapped = HierarchicalStore(ew, [
+        StorageLevel("only",
+                     ReplicatedStore(StorageCluster(ew, n_servers=3),
+                                     replication=2)),
+    ])
+    byte_identical = float(exercise(bare, eb) == exercise(wrapped, ew))
+
+    return {
+        "k": k,
+        "m": m,
+        "payload_kib": payload_kib,
+        "encode_mbps": round(payload_kib / 1024 / t_enc, 1),
+        "decode_degraded_mbps": round(payload_kib / 1024 / t_dec, 1),
+        "envelope_tested": tested,
+        "envelope_survival": round(survived / tested, 3),
+        "physical_ratio_vs_rf3": round(ratio, 3),
+        "byte_identical": byte_identical,
+    }
+
+
+# ----------------------------------------------------------------------
 def run(repeats: int) -> Dict:
     """Run every microbench and return the BENCH_PERF document."""
     return {
@@ -783,6 +872,8 @@ def run(repeats: int) -> Dict:
         "pipeline": bench_pipeline(n_ckpts=6, chain_len=9),
         "distsnap": bench_distsnap(n=6, rate=15_000.0,
                                    repeats=max(1, repeats // 2)),
+        "storage_hierarchy": bench_storage_hierarchy(
+            payload_kib=256, repeats=repeats),
     }
 
 
@@ -833,6 +924,19 @@ def check_regression(current: Dict, baseline_path: Path, max_regression: float) 
         guarded.append(("distsnap snapshot cycles/s",
                         baseline["distsnap"]["cycles_per_s"],
                         current["distsnap"]["cycles_per_s"]))
+    if "storage_hierarchy" in baseline:
+        # envelope_survival, physical ratio and byte_identical are
+        # deterministic: any drift is a real erasure/hierarchy change
+        # and fails the check outright.
+        guarded.append(("hierarchy erasure m-failure survival",
+                        baseline["storage_hierarchy"]["envelope_survival"],
+                        current["storage_hierarchy"]["envelope_survival"]))
+        guarded.append(("hierarchy depth<=1 byte identity",
+                        baseline["storage_hierarchy"]["byte_identical"],
+                        current["storage_hierarchy"]["byte_identical"]))
+        guarded.append(("hierarchy RS encode MB/s",
+                        baseline["storage_hierarchy"]["encode_mbps"],
+                        current["storage_hierarchy"]["encode_mbps"]))
     status = 0
     for name, base, cur in guarded:
         ratio = base / max(cur, 1e-9)

@@ -1,0 +1,240 @@
+"""E23 -- multi-level stable storage with an erasure-coded backing tier.
+
+SCR-style multi-level checkpointing (partner replicas in front, a
+Reed-Solomon ``k+m`` group behind) is the modern answer to the paper's
+single remote file server.  E23 demonstrates the storage-efficiency /
+survivability trade the erasure tier buys:
+
+* the ``k+m`` group survives **any** ``m`` concurrent server failures
+  (exhaustively, every failure combination) while storing well under
+  the physical bytes of ``rf=3`` replication for the same protection;
+* a coordinated job rides through ``m`` erasure-group failures -- and
+  even total loss of the partner tier, restoring from degraded
+  ``k``-of-``k+m`` reads;
+* spare group servers plus the background repairer re-encode lost
+  shards, returning the group to full strength mid-run;
+* a depth<=1 hierarchy is byte-identical to the bare replicated path,
+  so the tiering layer costs nothing when unused.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cluster import CheckpointCoordinator, Cluster, ParallelJob
+from repro.core.direction import AutonomicCheckpointer
+from repro.obs import export_obs, strip_metrics, to_json
+from repro.reporting import render_table
+from repro.runner import Cell, GridRunner
+from repro.runner.experiments import e23_hierarchy_cell
+from repro.simkernel import Engine
+from repro.simkernel.costs import NS_PER_MS, NS_PER_S
+from repro.stablestore import ErasureStore, ReplicatedStore, StorageCluster
+from repro.workloads import SparseWriter
+
+from conftest import report, report_json
+
+INTERVAL_NS = 25 * NS_PER_MS
+K, M = 4, 2
+
+GRID = [
+    ("ec4+2, no failures",
+     {"erasure": (K, M), "policy": "back"}),
+    ("ec4+2, m=2 group failures",
+     {"erasure": (K, M), "policy": "back", "fail_erasure": 2}),
+    ("ec4+2, m+1=3 group failures",
+     {"erasure": (K, M), "policy": "back", "fail_erasure": 3}),
+    ("ec4+2 + spares, shard repair",
+     {"erasure": (K, M), "policy": "back", "fail_erasure": 2,
+      "erasure_servers": 8}),
+    ("partner tier lost, degraded reads",
+     {"erasure": (K, M), "policy": "through", "fail_erasure": 2,
+      "fail_partner": 3}),
+]
+
+
+def erasure_envelope(k=K, m=M, payload_bytes=4096, n_keys=4):
+    """Exhaustively fail every ``m``-subset of the ``k+m`` group and
+    count the combinations from which all blobs still read back
+    byte-identically."""
+    blob = bytes(range(256)) * (payload_bytes // 256)
+    counts = {}
+    for width in (m, m + 1):
+        tested = survived = 0
+        for combo in itertools.combinations(range(k + m), width):
+            engine = Engine(seed=23)
+            sc = StorageCluster(engine, n_servers=k + m)
+            store = ErasureStore(sc, data_shards=k, parity_shards=m)
+            for i in range(n_keys):
+                store.store(f"e/{i}/1", blob, len(blob), 0)
+            for sid in combo:
+                sc.fail_server(sid)
+            tested += 1
+            try:
+                ok = all(
+                    store.load(f"e/{i}/1", NS_PER_S)[0] == blob
+                    for i in range(n_keys)
+                )
+            except Exception:
+                ok = False
+            if ok:
+                survived += 1
+        counts[width] = (tested, survived)
+    return counts
+
+
+def physical_ratio(payload_bytes=4096):
+    """EC(k+m) physical bytes over rf=3 replication for the same blob."""
+    blob = b"x" * payload_bytes
+    e1 = Engine(seed=23)
+    rep = ReplicatedStore(StorageCluster(e1, n_servers=6), replication=3)
+    rep.store("m/1/1", blob, payload_bytes, 0)
+    e2 = Engine(seed=23)
+    ec = ErasureStore(
+        StorageCluster(e2, n_servers=6), data_shards=K, parity_shards=M
+    )
+    ec.store("m/1/1", blob, payload_bytes, 0)
+    return ec.physical_bytes() / rep.physical_bytes()
+
+
+def _writer(rank):
+    """Same 2-rank workload the E19 cells use."""
+    return SparseWriter(
+        iterations=4000, dirty_fraction=0.03, heap_bytes=512 * 1024,
+        seed=rank, compute_ns=100_000,
+    )
+
+
+def degenerate_identity():
+    """A depth<=1 hierarchy must export byte-identically to the bare
+    replicated path (modulo its own ``hierarchy.*`` metrics and the
+    engine's internal event counters)."""
+    docs = []
+    for hier in (None, {"partner_rf": 2}):
+        cl = Cluster(
+            n_nodes=2, n_spares=2, seed=5, storage_servers=3,
+            replication=2, storage_hierarchy=hier,
+        )
+        job = ParallelJob(cl, _writer, n_ranks=2)
+        mechs = {
+            n.node_id: AutonomicCheckpointer(n.kernel, n.remote_storage)
+            for n in cl.nodes
+        }
+        coord = CheckpointCoordinator(job, mechs, INTERVAL_NS)
+        coord.start()
+        cl.engine.after(100 * NS_PER_MS, lambda cl=cl: cl.fail_node(0))
+        job.run_to_completion(limit_ns=120 * NS_PER_S)
+        doc = export_obs(
+            cl.engine.metrics, tracer=cl.engine.tracer,
+            meta={"experiment": "e23-identity"}, now_ns=cl.engine.now_ns,
+        )
+        docs.append(
+            to_json(strip_metrics(doc, prefixes=("engine.", "hierarchy.")))
+        )
+    return docs[0] == docs[1]
+
+
+def measure():
+    """Run the five-cell grid plus the three direct demonstrations."""
+    grid = [
+        Cell("e23", e23_hierarchy_cell,
+             dict(params, interval_ns=INTERVAL_NS, label=label), seed=23)
+        for label, params in GRID
+    ]
+    doc = GridRunner(workers=1).run(grid)
+    cells = {c["params"]["label"]: c["result"] for c in doc["cells"]}
+    return {
+        "cells": cells,
+        "envelope": erasure_envelope(),
+        "ratio": physical_ratio(),
+        "identity": degenerate_identity(),
+    }
+
+
+def test_e23_storage_hierarchy(run_once):
+    out = run_once(measure)
+    cells = out["cells"]
+
+    rows = [
+        (
+            label,
+            c["waves"],
+            c["lost_erasure"],
+            c["degraded_reads"],
+            c["shard_repairs"],
+            "yes" if c["unrecoverable"] else "no",
+            "yes" if c["completed"] else "no",
+        )
+        for label, c in ((label, cells[label]) for label, _ in GRID)
+    ]
+    text = render_table(
+        [
+            "scenario", "waves", "shards lost", "degraded reads",
+            "shard repairs", "job lost", "completed",
+        ],
+        rows,
+        title="E23. Multi-level stable storage with an erasure-coded tier.",
+    )
+    tested, survived = out["envelope"][M]
+    beyond_tested, beyond_survived = out["envelope"][M + 1]
+    text += (
+        f"\n\nSurvivable envelope: {survived}/{tested} of all "
+        f"C({K + M},{M}) concurrent {M}-server failure combinations "
+        f"read back byte-identically (k={K}, m={M}); "
+        f"{beyond_survived}/{beyond_tested} of the {M + 1}-failure "
+        "combinations do (the code distance is exactly m+1)."
+    )
+    text += (
+        f"\nPhysical storage ratio ec({K}+{M}) / rf=3: "
+        f"{out['ratio']:.2f}x (paper-era triple replication = 1.00x)."
+    )
+    text += (
+        "\nDepth<=1 hierarchy export byte-identical to bare replicated "
+        f"path: {'yes' if out['identity'] else 'NO'}."
+    )
+    showcase = cells["partner tier lost, degraded reads"]
+    text += (
+        "\n\nFailure/checkpoint/restart timeline "
+        "(partner tier lost, degraded reads):\n" + showcase["timeline"]
+    )
+    report("e23_storage_hierarchy", text)
+    report_json("e23_storage_hierarchy", showcase["obs"])
+
+    # Failure-free baseline: nothing lost, nothing degraded.
+    c = cells["ec4+2, no failures"]
+    assert c["completed"] and not c["unrecoverable"]
+    assert c["lost_erasure"] == 0 and c["degraded_reads"] == 0
+
+    # The group absorbs any m concurrent failures with zero loss.
+    c = cells["ec4+2, m=2 group failures"]
+    assert c["completed"] and not c["unrecoverable"]
+    assert c["lost_erasure"] == 0
+
+    # m+1 failures exceed the code distance: the group can no longer
+    # accept full stripes (write quorum failures pile up) -- but the
+    # job itself survives because the partner tier still holds replicas.
+    c = cells["ec4+2, m+1=3 group failures"]
+    assert c["completed"] and not c["unrecoverable"]
+    assert c["ec_write_quorum_failures"] >= 1
+
+    # Spare group servers + the repairer restore full strength.
+    c = cells["ec4+2 + spares, shard repair"]
+    assert c["completed"]
+    assert c["shard_repairs"] >= 1
+    assert c["under_replicated"] == 0
+
+    # Total partner-tier loss: the restart is served by degraded
+    # k-of-k+m reads from the erasure tier alone.
+    c = cells["partner tier lost, degraded reads"]
+    assert c["completed"] and not c["unrecoverable"]
+    assert c["degraded_reads"] >= 1
+    assert c["bytes_by_level"]["partner"] == 0
+
+    # Every single m-subset of the group is survivable, no m+1-subset
+    # is, and the protection costs well under triple replication.
+    assert survived == tested == 15
+    assert beyond_survived == 0 and beyond_tested == 20
+    assert out["ratio"] <= 0.6
+
+    # The tiering layer is free when unused.
+    assert out["identity"]

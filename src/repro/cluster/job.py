@@ -222,6 +222,10 @@ class CheckpointCoordinator:
         #: images (or their delta ancestry) were unreadable -- storage-
         #: tier failures surfacing as lost checkpoint generations (E19).
         self.generation_fallbacks = 0
+        #: Prefetch restores that lost their read quorum mid-chain and
+        #: were retried through the serial walk instead of failing the
+        #: whole recovery.
+        self.prefetch_fallbacks = 0
         self._stopped = False
         job.cluster.on_failure(self._on_failure)
 
@@ -332,64 +336,94 @@ class CheckpointCoordinator:
             job.restarts += 1
             self._restart_from_scratch()
             return
-        wave = self._usable_wave()
-        if wave is None:
+        # Progress snapshot before any task is stopped: lost work is
+        # measured against whichever wave the recovery finally lands on.
+        steps_before = {r.index: r.task.main_steps for r in job.ranks}
+        recovered: Optional[Dict[int, str]] = None
+        for wave in self._candidate_waves():
+            try:
+                self._recover_from(wave)
+            except StorageLostError:
+                # The availability probe passed but the actual fetch
+                # lost its read quorum (a fan-out prefetch hitting a
+                # mid-chain loss the serial retry also cannot cover):
+                # fall back to the next older readable generation
+                # instead of declaring the job unrecoverable.
+                continue
+            except ClusterError:
+                # No spare node to place a rank on: storage fallback
+                # cannot help.
+                self.unrecoverable = True
+                return
+            recovered = wave
+            break
+        if recovered is None:
             # Waves were taken but no generation's images are readable
             # (local disks died with their node, or the storage tier
             # lost every replica): the E13/E19 failure mode.
             self.unrecoverable = True
             return
-        if wave is not self.waves[-1]:
+        if recovered is not self.waves[-1]:
             self.generation_fallbacks += 1
         # Rework: progress past the recovered wave is lost per rank.
         self.lost_steps += sum(
-            max(0, r.task.main_steps - wave[r.index][1])
+            max(0, steps_before[r.index] - recovered[r.index][1])
             for r in job.ranks
-            if r.index in wave
+            if r.index in recovered
         )
         job.restarts += 1
         self.recoveries += 1
-        try:
-            for rank in job.ranks:
-                if rank.task.alive():
-                    rank.node.kernel.stop_task(rank.task)
-                target = rank.node if rank.node.up else cluster.claim_spare()
-                mech = self.mechanisms.get(rank.node.node_id) or next(
-                    iter(self.mechanisms.values())
-                )
-                if rank.index in wave:
-                    key, _ = wave[rank.index]
-                else:
-                    # The rank sat out the latest wave (it was parked,
-                    # e.g. mid-restore -- its state IS an older image).
-                    # Fall back to the most recent wave that covers it.
-                    key = None
-                    for older in reversed(self.waves):
-                        if rank.index in older:
-                            key = older[rank.index][0]
-                            break
-                    if key is None:
-                        raise ClusterError(f"no wave covers rank {rank.index}")
+
+    def _recover_from(self, wave: Dict[int, str]) -> None:
+        """Restore every rank from ``wave`` (raises on failure).
+
+        A prefetch restore that loses its read quorum mid-chain is
+        retried through the serial walk before the error propagates --
+        the serial path re-walks holders one at a time and matches what
+        :meth:`Checkpointer.chain_available` probed, so a transient
+        fan-out loss must not fail a recovery the serial path survives.
+        """
+        job = self.job
+        cluster = job.cluster
+        for rank in job.ranks:
+            if rank.task.alive():
+                rank.node.kernel.stop_task(rank.task)
+            target = rank.node if rank.node.up else cluster.claim_spare()
+            mech = self.mechanisms.get(rank.node.node_id) or next(
+                iter(self.mechanisms.values())
+            )
+            if rank.index in wave:
+                key, _ = wave[rank.index]
+            else:
+                # The rank sat out the latest wave (it was parked,
+                # e.g. mid-restore -- its state IS an older image).
+                # Fall back to the most recent wave that covers it.
+                key = None
+                for older in reversed(self.waves):
+                    if rank.index in older:
+                        key = older[rank.index][0]
+                        break
+                if key is None:
+                    raise ClusterError(f"no wave covers rank {rank.index}")
+            try:
                 res = mech.restart(
                     key,
                     target_kernel=target.kernel,
                     prefetch=self.restore_prefetch,
                 )
-                rank.node = target
-                rank.task = res.task
-        except (StorageLostError, ClusterError):
-            # Checkpoints gone (local disk on the dead node) or no spare:
-            # the job cannot be recovered -- the paper's E13 failure mode.
-            self.unrecoverable = True
+            except StorageLostError:
+                if not self.restore_prefetch:
+                    raise
+                self.prefetch_fallbacks += 1
+                res = mech.restart(
+                    key, target_kernel=target.kernel, prefetch=False
+                )
+            rank.node = target
+            rank.task = res.task
 
-    def _usable_wave(self) -> Optional[Dict[int, str]]:
-        """Newest wave whose every image chain is currently readable.
-
-        Under an infallible storage tier this is always the latest wave
-        (identical to the historical behaviour); when storage servers
-        fail, restart falls back to the newest *surviving* generation
-        instead of dying on the first unreadable image.
-        """
+    def _candidate_waves(self):
+        """Waves whose every image chain is currently readable, newest
+        first (the serial generation-fallback walk)."""
         for wave in reversed(self.waves):
             usable = True
             for rank in self.job.ranks:
@@ -402,8 +436,17 @@ class CheckpointCoordinator:
                     usable = False
                     break
             if usable:
-                return wave
-        return None
+                yield wave
+
+    def _usable_wave(self) -> Optional[Dict[int, str]]:
+        """Newest wave whose every image chain is currently readable.
+
+        Under an infallible storage tier this is always the latest wave
+        (identical to the historical behaviour); when storage servers
+        fail, restart falls back to the newest *surviving* generation
+        instead of dying on the first unreadable image.
+        """
+        return next(self._candidate_waves(), None)
 
     def _restart_from_scratch(self) -> None:
         job = self.job

@@ -11,20 +11,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import ClusterError, NodeFailedError
 from ..simkernel import Kernel, TaskState
-from ..simkernel.costs import CostModel, DEFAULT_COSTS, NS_PER_S
+from ..simkernel.costs import CostModel, DEFAULT_COSTS, NS_PER_MS, NS_PER_S
 from ..simkernel.engine import Engine
 from ..stablestore import (
     ContentStore,
+    ErasureRepairer,
+    ErasureStore,
+    HierarchicalStore,
     ReplicatedStore,
     ReplicationRepairer,
     StorageCluster,
+    StorageLevel,
 )
 from ..storage import LocalDiskStorage, RemoteStorage
-from ..storage.backends import StorageBackend
+from ..storage.backends import MemoryStorage, StorageBackend
+from ..storage.devices import memory_device
 from .failures import FailureModel
 from .fleet import NodeFleet
 
@@ -190,6 +195,26 @@ class Cluster:
         :class:`~repro.stablestore.ContentStore` so byte-identical page
         payloads cost one quorum write per *content*, not per generation
         (experiment E20; service mode only).
+    storage_hierarchy:
+        When set (service mode only), compose the stable-storage tiers
+        into a :class:`~repro.stablestore.HierarchicalStore` and hand
+        *that* to every node (experiment E23).  Spec keys, all optional:
+
+        - ``scratch_bytes`` -- add a capacity-bound node-local RAM
+          scratch level (fastest, not durable);
+        - ``partner_rf`` -- add the quorum-replicated service as the
+          partner level, overriding ``replication`` with this factor;
+        - ``erasure`` -- a ``(k, m)`` tuple: add a Reed-Solomon
+          erasure-coded level on its *own* ``k+m``-server group (a
+          separate failure domain from the partner tier);
+        - ``erasure_servers`` -- group size (default ``k + m``);
+        - ``erasure_policy`` -- ``"through"`` or ``"back"`` (default);
+        - ``writeback_delay_ns`` -- delay before write-back copies;
+        - ``promote_on_access`` -- copy reads into faster levels.
+
+        A degenerate ``{"partner_rf": N}`` spec is the plain replicated
+        path behind a one-level hierarchy (charge-for-charge identical;
+        only ``hierarchy.*`` metrics are added).
     lazy_nodes:
         Build :class:`ClusterNode` machines on first touch instead of
         up front, so a 65,536-node cluster only pays for the nodes a
@@ -213,6 +238,7 @@ class Cluster:
         read_quorum: int = 1,
         storage_repair: bool = True,
         content_dedup: bool = False,
+        storage_hierarchy: Optional[Dict[str, Any]] = None,
         lazy_nodes: bool = False,
     ) -> None:
         if n_nodes < 1:
@@ -229,7 +255,18 @@ class Cluster:
         #: replication reporting always talk to this layer).
         self.replicated_store: Optional[ReplicatedStore] = None
         self.content_store: Optional[ContentStore] = None
+        self.hierarchy_store: Optional[HierarchicalStore] = None
+        self.erasure_cluster: Optional[StorageCluster] = None
+        self.erasure_store: Optional[ErasureStore] = None
+        self.erasure_repairer: Optional[ErasureRepairer] = None
+        if storage_hierarchy is not None and storage_servers <= 0:
+            raise ClusterError("storage_hierarchy requires storage_servers > 0")
         if storage_servers > 0:
+            hier_spec = (
+                dict(storage_hierarchy) if storage_hierarchy is not None else None
+            )
+            if hier_spec is not None and hier_spec.get("partner_rf"):
+                replication = int(hier_spec["partner_rf"])
             self.storage_cluster = StorageCluster(self.engine, n_servers=storage_servers)
             self.replicated_store = ReplicatedStore(
                 self.storage_cluster,
@@ -238,9 +275,11 @@ class Cluster:
                 read_quorum=read_quorum,
             )
             self.remote_storage: StorageBackend = self.replicated_store
+            if hier_spec is not None:
+                self._build_hierarchy(hier_spec, storage_repair)
             if content_dedup:
                 self.content_store = ContentStore(
-                    self.replicated_store, metrics=self.engine.metrics
+                    self.remote_storage, metrics=self.engine.metrics
                 )
                 self.remote_storage = self.content_store
             if storage_repair:
@@ -268,6 +307,71 @@ class Cluster:
         self._failure_watchers: List[Callable[[ClusterNode], None]] = []
 
     # ------------------------------------------------------------------
+    def _build_hierarchy(self, spec: Dict[str, Any], storage_repair: bool) -> None:
+        """Assemble the multi-level store from a ``storage_hierarchy`` spec."""
+        scratch_bytes = spec.pop("scratch_bytes", None)
+        partner_rf = spec.pop("partner_rf", None)
+        erasure = spec.pop("erasure", None)
+        erasure_servers = spec.pop("erasure_servers", None)
+        erasure_policy = spec.pop("erasure_policy", "back")
+        writeback_delay_ns = spec.pop("writeback_delay_ns", 2 * NS_PER_MS)
+        promote_on_access = spec.pop("promote_on_access", True)
+        if spec:
+            raise ClusterError(
+                f"unknown storage_hierarchy keys: {sorted(spec)}"
+            )
+        levels: List[StorageLevel] = []
+        if scratch_bytes:
+            levels.append(
+                StorageLevel(
+                    "scratch",
+                    MemoryStorage(device=memory_device("ram[scratch]")),
+                    capacity_bytes=int(scratch_bytes),
+                )
+            )
+        if partner_rf:
+            levels.append(StorageLevel("partner", self.replicated_store))
+        if erasure is not None:
+            k, m = (int(erasure[0]), int(erasure[1]))
+            n_group = int(erasure_servers) if erasure_servers else k + m
+            self.erasure_cluster = StorageCluster(self.engine, n_servers=n_group)
+            self.erasure_store = ErasureStore(
+                self.erasure_cluster, data_shards=k, parity_shards=m
+            )
+            levels.append(
+                StorageLevel(
+                    "erasure",
+                    self.erasure_store,
+                    write=erasure_policy,
+                    writeback_delay_ns=writeback_delay_ns,
+                )
+            )
+            if storage_repair:
+                self.erasure_repairer = ErasureRepairer(
+                    self.erasure_store, self.engine
+                )
+        if not levels:
+            raise ClusterError(
+                "storage_hierarchy spec built no levels (set scratch_bytes, "
+                "partner_rf and/or erasure)"
+            )
+        self.hierarchy_store = HierarchicalStore(
+            self.engine, levels, promote_on_access=promote_on_access
+        )
+        self.remote_storage = self.hierarchy_store
+
+    def fail_erasure_server(self, server_id: int) -> None:
+        """Inject a fail-stop on one erasure-group server, now."""
+        if self.erasure_cluster is None:
+            raise ClusterError("cluster was built without an erasure level")
+        self.erasure_cluster.fail_server(server_id)
+
+    def repair_erasure_server(self, server_id: int, data_survived: bool = True) -> None:
+        """Bring a failed erasure-group server back."""
+        if self.erasure_cluster is None:
+            raise ClusterError("cluster was built without an erasure level")
+        self.erasure_cluster.repair_server(server_id, data_survived=data_survived)
+
     def node(self, node_id: int) -> ClusterNode:
         """Node by id."""
         return self.nodes[node_id]

@@ -83,7 +83,11 @@ def validate_export(doc: Mapping[str, Any]) -> None:
         if isinstance(v, bool) or not isinstance(v, int):
             _fail(f"counter {name!r} value must be an int")
     for name, v in metrics["gauges"].items():
-        _check_scalar(f"gauge {name!r}", v)
+        # Gauges also admit label-style string values (e.g. a mode
+        # name); folding requires those to be shard-invariant.
+        if not isinstance(v, (int, float, str)):
+            _fail(f"gauge {name!r} must be a number or string, "
+                  f"got {type(v).__name__}")
     for name, h in metrics["histograms"].items():
         if not isinstance(h, Mapping):
             _fail(f"histogram {name!r} must be a mapping")

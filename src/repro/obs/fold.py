@@ -10,9 +10,12 @@ machines into shards must not be recoverable from the result:
 * counters: integer sum (event contributions are disjoint per shard);
 * histograms: identical fixed buckets (enforced), element-wise count
   sum, ``count``/``sum`` sums, min-of-mins / max-of-maxes;
-* gauges: maximum.  Last-value-wins is *not* order-invariant across
-  shards, so sharded scenarios should prefer counters and histograms;
-  the max fold is provided for completeness and documented as such;
+* gauges: maximum for numeric values.  Last-value-wins is *not*
+  order-invariant across shards, so sharded scenarios should prefer
+  counters and histograms; the max fold is provided for completeness
+  and documented as such.  Non-numeric gauges (labels, mode strings)
+  fold only when identical in every shard -- otherwise the fold fails
+  with a per-metric error rather than a ``TypeError``;
 * spans: concatenated and re-sorted by ``(begin_ns, span_id)``.  Span
   ids are engine-scoped, so cross-shard id collisions are possible;
   the byte-identity gate therefore applies to span-free runs (the
@@ -79,6 +82,28 @@ def _max_opt(a, b):
     return max(a, b)
 
 
+def _fold_gauge(name: str, a, b):
+    """Fold two shard values of one gauge.
+
+    Numeric gauges fold with ``max`` (order-invariant).  Non-numeric
+    gauges -- labels, mode strings -- have no meaningful maximum:
+    identical values pass through (a constant label is shard-
+    invariant), differing ones raise a per-metric
+    :class:`~repro.errors.ObservabilityError` instead of the bare
+    ``TypeError`` ``max`` used to throw.
+    """
+    numeric = (int, float)
+    if isinstance(a, numeric) and isinstance(b, numeric):
+        return max(a, b)
+    if a == b:
+        return a
+    raise ObservabilityError(
+        f"gauge {name!r}: cannot fold non-numeric values {a!r} and {b!r} "
+        "across shards (max is only defined for numbers; non-numeric "
+        "gauges must be identical in every shard)"
+    )
+
+
 def fold_exports(docs: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
     """Fold per-shard export documents into one canonical document.
 
@@ -109,7 +134,9 @@ def fold_exports(docs: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
         for name, v in m["counters"].items():
             counters[name] = counters.get(name, 0) + v
         for name, v in m["gauges"].items():
-            gauges[name] = v if name not in gauges else max(gauges[name], v)
+            gauges[name] = v if name not in gauges else _fold_gauge(
+                name, gauges[name], v
+            )
         for name, h in m["histograms"].items():
             acc = histograms.get(name)
             if acc is None:

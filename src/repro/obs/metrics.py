@@ -94,8 +94,8 @@ class Gauge:
         self.name = name
         self.value: Union[int, float] = 0
 
-    def set(self, value: Union[int, float]) -> None:
-        """Record the current value."""
+    def set(self, value: Union[int, float, str]) -> None:
+        """Record the current value (numbers, or a label-style string)."""
         self.value = value
 
     def to_dict(self) -> Union[int, float]:
@@ -225,7 +225,7 @@ class MetricsRegistry:
         """Bump the named counter."""
         self.counter(name).inc(delta)
 
-    def set_gauge(self, name: str, value: Union[int, float]) -> None:
+    def set_gauge(self, name: str, value: Union[int, float, str]) -> None:
         """Set the named gauge."""
         self.gauge(name).set(value)
 

@@ -43,6 +43,7 @@ __all__ = [
     "e18_parallel_cell",
     "e19_replication_cell",
     "e22_parallel_cell",
+    "e23_hierarchy_cell",
 ]
 
 
@@ -361,6 +362,90 @@ def e19_replication_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]
             cl.engine.metrics, tracer=cl.engine.tracer,
             meta={"experiment": "e19", "rf": rf,
                   "storage_failures": storage_failures, "seed": seed},
+            now_ns=cl.engine.now_ns,
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# E23: multi-level stable storage with an erasure-coded backing tier
+# ----------------------------------------------------------------------
+def e23_hierarchy_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """One E23 grid cell: a 2-rank coordinated job whose stable storage
+    is a partner-replica level backed (write-through or write-back) by a
+    Reed-Solomon ``k+m`` erasure group on its own failure domain.
+
+    ``fail_erasure`` erasure-group servers and ``fail_partner`` partner
+    servers die mid-run, then a compute node dies; the restart must be
+    served by whatever levels survive -- including degraded ``k``-of-
+    ``k+m`` reads when the partner tier is gone entirely.
+    """
+    k, m = (int(x) for x in params.get("erasure", (4, 2)))
+    policy = str(params.get("policy", "back"))
+    fail_erasure = int(params.get("fail_erasure", 0))
+    fail_partner = int(params.get("fail_partner", 0))
+    repair = bool(params.get("repair", True))
+    erasure_servers = params.get("erasure_servers")
+    interval_ns = int(params.get("interval_ns", 25 * NS_PER_MS))
+
+    hier_spec = {
+        "partner_rf": 2, "erasure": (k, m), "erasure_policy": policy,
+    }
+    if erasure_servers is not None:
+        hier_spec["erasure_servers"] = int(erasure_servers)
+    cl = Cluster(
+        n_nodes=2, n_spares=2, seed=seed,
+        storage_servers=3, storage_repair=repair,
+        storage_hierarchy=hier_spec,
+    )
+    job = ParallelJob(cl, _writer, n_ranks=2, name=f"ec{k}+{m}")
+    mechs = {
+        n.node_id: AutonomicCheckpointer(n.kernel, n.remote_storage)
+        for n in cl.nodes
+    }
+    coord = CheckpointCoordinator(job, mechs, interval_ns)
+    coord.start()
+    hier = cl.hierarchy_store
+    ers = cl.erasure_store
+
+    def fail_tiers():
+        if not coord.waves:  # wait until a wave is actually protected
+            cl.engine.after(10 * NS_PER_MS, fail_tiers)
+            return
+        for sid in range(fail_erasure):
+            cl.fail_erasure_server(sid)
+        for sid in range(fail_partner):
+            cl.fail_storage_server(sid)
+
+    if fail_erasure or fail_partner:
+        cl.engine.after(140 * NS_PER_MS, fail_tiers)
+    cl.engine.after(220 * NS_PER_MS, lambda: cl.fail_node(0))
+    done = job.run_to_completion(limit_ns=120 * NS_PER_S)
+    by_level = hier.level_physical_bytes()
+    return {
+        "completed": done,
+        "waves": len(coord.waves),
+        "recoveries": coord.recoveries,
+        "unrecoverable": coord.unrecoverable,
+        "fallbacks": coord.generation_fallbacks,
+        "lost_erasure": len(ers.lost_keys()),
+        "under_replicated": len(ers.under_replicated()),
+        "degraded_reads": ers.degraded_reads,
+        "ec_write_quorum_failures": ers.quorum_write_failures,
+        "ec_read_quorum_failures": ers.quorum_read_failures,
+        "shard_repairs": cl.erasure_repairer.repairs_completed
+        if cl.erasure_repairer is not None else 0,
+        "replica_repairs": cl.storage_repairer.repairs_completed
+        if cl.storage_repairer is not None else 0,
+        "promotions": hier.promotions,
+        "reprotects": hier.reprotects,
+        "bytes_by_level": dict(by_level),
+        "timeline": render_timeline(cl.engine),
+        "obs": export_obs(
+            cl.engine.metrics, tracer=cl.engine.tracer,
+            meta={"experiment": "e23", "k": k, "m": m, "policy": policy,
+                  "fail_erasure": fail_erasure, "fail_partner": fail_partner,
+                  "seed": seed},
             now_ns=cl.engine.now_ns,
         ),
     }

@@ -23,10 +23,27 @@ quorum-replicated client.
   generations (delta chains are walked and protected).
 * :class:`ContentStore` -- content-addressed dedup wrapper: each unique
   page payload costs one quorum write ever, not one per generation.
+* :class:`ErasureStore` / :class:`ErasureRepairer` -- Reed-Solomon
+  ``k+m`` erasure coding over the same storage servers: any ``k`` of
+  ``k+m`` shards reconstruct the blob at a fraction of the physical
+  bytes full replication costs.
+* :class:`HierarchicalStore` -- multi-level stable storage (node-local
+  scratch, partner replicas, erasure-coded group, remote replicated
+  tier) with promotion/demotion and cross-level reprotection.
 """
 
 from .contentstore import ContentStore, DedupWriteStream, ImageManifest
+from .erasure import (
+    ErasureRepairer,
+    ErasureStore,
+    ErasureWriteStream,
+    Shard,
+    rs_decode,
+    rs_encode,
+    rs_rebuild_shard,
+)
 from .gc import GenerationGC
+from .hierarchy import HierarchicalStore, HierarchyWriteStream, StorageLevel
 from .pipeline import WritebackPipeline
 from .repair import ReplicationRepairer
 from .replicated import ReplicatedStore, ReplicaWriteStream
@@ -47,4 +64,14 @@ __all__ = [
     "WritebackPipeline",
     "ShardStorageService",
     "server_home_shard",
+    "ErasureStore",
+    "ErasureWriteStream",
+    "ErasureRepairer",
+    "Shard",
+    "rs_encode",
+    "rs_decode",
+    "rs_rebuild_shard",
+    "StorageLevel",
+    "HierarchicalStore",
+    "HierarchyWriteStream",
 ]

@@ -1,0 +1,793 @@
+"""Reed-Solomon k+m erasure-coded stable storage.
+
+Replication multiplies every checkpoint byte by the replica count; the
+post-paper petascale C/R systems (and the OpenCHK multi-level work)
+instead stripe each blob into ``k`` data shards plus ``m`` parity
+shards, so any ``k`` of the ``k+m`` shards reconstruct the blob while
+the physical overhead is only ``(k+m)/k`` -- rf=3 durability at half
+the bytes for a 4+2 code.
+
+Two layers live here:
+
+* A pure-python (NumPy-vectorized) systematic Reed-Solomon codec over
+  GF(2^8): :func:`rs_encode`, :func:`rs_decode`,
+  :func:`rs_rebuild_shard`.  Parity rows come from a Cauchy matrix, so
+  every k-subset of the ``k+m`` generator rows is invertible -- the MDS
+  property the "any k of k+m" guarantee rests on.
+* :class:`ErasureStore` -- a peer of
+  :class:`~repro.stablestore.ReplicatedStore` behind the same
+  :class:`~repro.storage.backends.StorageBackend` protocol (including
+  the pipelined :class:`ErasureWriteStream`), placing the ``k+m``
+  shards on distinct storage servers by rendezvous hashing.  Reads
+  gather any ``k`` live shards in parallel (data shards preferred;
+  parity involvement is a *degraded read*), and
+  :class:`ErasureRepairer` re-encodes lost shards in the background on
+  :class:`~repro.stablestore.ReplicationRepairer`'s scan cadence.
+
+Bytes-like blobs (``bytes``/``bytearray``/``memoryview`` and uint8
+NumPy arrays) are striped through the real codec, so a degraded read
+genuinely reconstructs the payload from shard bytes.  Other simulation
+objects (checkpoint images carry live workload references that must
+not be copied) are sharded *opaquely*: the accounting, placement and
+the k-of-k+m availability rule are identical, but reconstruction hands
+back the object reference instead of re-decoding serialized bytes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import StorageError, StorageLostError
+from ..simkernel.costs import NS_PER_MS, NS_PER_US
+from ..simkernel.engine import Completion
+from ..storage.backends import StorageBackend, StorageKind
+from .repair import ReplicationRepairer
+from .server import StorageCluster, StorageServer
+
+__all__ = [
+    "rs_encode",
+    "rs_decode",
+    "rs_rebuild_shard",
+    "Shard",
+    "ErasureStore",
+    "ErasureWriteStream",
+    "ErasureRepairer",
+]
+
+
+# ----------------------------------------------------------------------
+# GF(2^8) arithmetic (primitive polynomial x^8+x^4+x^3+x^2+1 = 0x11d)
+# ----------------------------------------------------------------------
+def _build_tables() -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= 0x11D
+    exp[255:510] = exp[:255]
+    # Full 256x256 product table: mul[a, b] = a*b in GF(2^8).  64 KiB
+    # once at import buys branch-free vectorized coding below.
+    la = log[:, None] + log[None, :]
+    mul = exp[la]
+    mul[0, :] = 0
+    mul[:, 0] = 0
+    return exp, log, mul
+
+
+_GF_EXP, _GF_LOG, _GF_MUL = _build_tables()
+
+
+def _gf_inv(a: int) -> int:
+    if a == 0:
+        raise StorageError("GF(2^8) zero has no inverse")
+    return int(_GF_EXP[255 - _GF_LOG[a]])
+
+
+def _cauchy_rows(k: int, m: int) -> np.ndarray:
+    """The m x k parity block: C[i][j] = 1/(x_i + y_j) with distinct
+    x_i = i and y_j = m + j.  Every square submatrix of a Cauchy matrix
+    is nonsingular, which makes [I_k ; C] an MDS generator."""
+    rows = np.zeros((m, k), dtype=np.uint8)
+    for i in range(m):
+        for j in range(k):
+            rows[i, j] = _gf_inv(i ^ (m + j))
+    return rows
+
+
+def _gf_matmul(matrix: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """(r x k) GF matrix times (k x L) byte rows -> (r x L) byte rows."""
+    out = np.zeros((matrix.shape[0], rows.shape[1]), dtype=np.uint8)
+    for i in range(matrix.shape[0]):
+        acc = out[i]
+        for j in range(matrix.shape[1]):
+            c = int(matrix[i, j])
+            if c:
+                acc ^= _GF_MUL[c][rows[j]]
+    return out
+
+
+def _gf_invert(matrix: np.ndarray) -> np.ndarray:
+    """Invert a k x k matrix over GF(2^8) by Gauss-Jordan."""
+    k = matrix.shape[0]
+    a = matrix.astype(np.uint8).copy()
+    inv = np.eye(k, dtype=np.uint8)
+    for col in range(k):
+        pivot = next((r for r in range(col, k) if a[r, col]), None)
+        if pivot is None:
+            raise StorageError("singular shard matrix (duplicate shard indices?)")
+        if pivot != col:
+            a[[col, pivot]] = a[[pivot, col]]
+            inv[[col, pivot]] = inv[[pivot, col]]
+        piv_inv = _gf_inv(int(a[col, col]))
+        a[col] = _GF_MUL[piv_inv][a[col]]
+        inv[col] = _GF_MUL[piv_inv][inv[col]]
+        for r in range(k):
+            if r != col and a[r, col]:
+                c = int(a[r, col])
+                a[r] ^= _GF_MUL[c][a[col]]
+                inv[r] ^= _GF_MUL[c][inv[col]]
+    return inv
+
+
+def _check_km(k: int, m: int) -> None:
+    if k < 1 or m < 1:
+        raise StorageError(f"erasure code needs k >= 1 and m >= 1 (got {k}+{m})")
+    if k + m > 256:
+        raise StorageError(f"GF(2^8) code supports k+m <= 256 (got {k + m})")
+
+
+def rs_encode(payload: bytes, k: int, m: int) -> List[bytes]:
+    """Stripe ``payload`` into ``k`` data + ``m`` parity shards.
+
+    The code is systematic: shards ``0..k-1`` are the (zero-padded)
+    payload slices, shards ``k..k+m-1`` are Cauchy parity.  Every shard
+    is ``ceil(len(payload)/k)`` bytes.
+    """
+    _check_km(k, m)
+    shard_len = -(-len(payload) // k)
+    data = np.zeros((k, shard_len), dtype=np.uint8)
+    if len(payload):
+        flat = np.frombuffer(payload, dtype=np.uint8)
+        data.reshape(-1)[: len(payload)] = flat
+    parity = _gf_matmul(_cauchy_rows(k, m), data)
+    return [data[i].tobytes() for i in range(k)] + [
+        parity[i].tobytes() for i in range(m)
+    ]
+
+
+def rs_decode(
+    shards: Mapping[int, bytes], k: int, m: int, payload_len: int
+) -> bytes:
+    """Reconstruct the original payload from any ``k`` of ``k+m`` shards.
+
+    ``shards`` maps shard index -> shard bytes; indices ``>= k`` are
+    parity.  Raises :class:`~repro.errors.StorageError` when fewer than
+    ``k`` shards are supplied.
+    """
+    _check_km(k, m)
+    if len(shards) < k:
+        raise StorageError(
+            f"need {k} shards to reconstruct, have {len(shards)}"
+        )
+    have = sorted(shards)[:k]
+    shard_len = -(-payload_len // k)
+    if have == list(range(k)):
+        # All data shards present: plain systematic concatenation.
+        data = np.concatenate(
+            [np.frombuffer(shards[i], dtype=np.uint8) for i in range(k)]
+        ) if k > 1 else np.frombuffer(shards[0], dtype=np.uint8)
+        return data.tobytes()[:payload_len]
+    cauchy = _cauchy_rows(k, m)
+    matrix = np.zeros((k, k), dtype=np.uint8)
+    stacked = np.zeros((k, shard_len), dtype=np.uint8)
+    for row, idx in enumerate(have):
+        if idx < k:
+            matrix[row, idx] = 1
+        else:
+            matrix[row] = cauchy[idx - k]
+        buf = np.frombuffer(shards[idx], dtype=np.uint8)
+        if buf.shape[0] != shard_len:
+            raise StorageError(
+                f"shard {idx} is {buf.shape[0]} bytes, expected {shard_len}"
+            )
+        stacked[row] = buf
+    data = _gf_matmul(_gf_invert(matrix), stacked)
+    return data.reshape(-1).tobytes()[:payload_len]
+
+
+def rs_rebuild_shard(
+    shards: Mapping[int, bytes], k: int, m: int, index: int, payload_len: int
+) -> bytes:
+    """Re-encode one lost shard (data or parity) from any ``k`` others."""
+    _check_km(k, m)
+    if not 0 <= index < k + m:
+        raise StorageError(f"shard index {index} outside 0..{k + m - 1}")
+    payload = rs_decode(shards, k, m, k * (-(-payload_len // k)))
+    return rs_encode(payload, k, m)[index]
+
+
+# ----------------------------------------------------------------------
+# The erasure-coded storage client
+# ----------------------------------------------------------------------
+@dataclass
+class Shard:
+    """One stored shard of an erasure-coded blob."""
+
+    index: int
+    k: int
+    m: int
+    #: Coded shard bytes for bytes-like blobs; None for opaque objects.
+    payload: Optional[bytes]
+    #: Serialized payload length ("bytes"/"u8" kinds) for truncation.
+    payload_len: int
+    #: "bytes", "u8" (uint8 ndarray) or "opaque".
+    payload_kind: str
+    #: The object reference for opaque (non-bytes-like) blobs.
+    obj: Any = None
+
+
+def _score(key: str, server_id: int) -> int:
+    return zlib.crc32(f"{key}|{server_id}".encode())
+
+
+#: Server-side key suffix for shard entries.  An ErasureStore may share
+#: a StorageCluster with a ReplicatedStore (one failure domain, two
+#: redundancy schemes); namespacing keeps a blob's shards from
+#: clobbering its whole-object replicas under the same key.
+_SHARD_SUFFIX = "#ec"
+
+
+def _skey(key: str) -> str:
+    return key + _SHARD_SUFFIX
+
+
+def _payload_of(obj: Any) -> Tuple[Optional[bytes], str]:
+    """Canonical byte payload of a blob, or (None, "opaque")."""
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return bytes(obj), "bytes"
+    if isinstance(obj, np.ndarray) and obj.dtype == np.uint8 and obj.ndim == 1:
+        return obj.tobytes(), "u8"
+    return None, "opaque"
+
+
+class ErasureStore(StorageBackend):
+    """k+m Reed-Solomon striping over N storage servers.
+
+    A peer of :class:`~repro.stablestore.ReplicatedStore`: same
+    rendezvous placement, same sloppy walk past failed servers (each
+    costs ``timeout + backoff``), same
+    :class:`~repro.errors.StorageLostError` contract -- but each blob
+    becomes ``k+m`` shards of ``ceil(nbytes/k)`` accounted bytes on
+    ``k+m`` distinct servers, any ``k`` of which reconstruct it.
+
+    Parameters
+    ----------
+    storage:
+        The :class:`StorageCluster` holding servers and the shared link.
+    data_shards / parity_shards:
+        The code: ``k`` data plus ``m`` parity shards per blob.
+    write_shards:
+        Shards that must be durable before a write returns; defaults to
+        the full stripe ``k+m`` (anything less leaves freshly written
+        blobs below full failure tolerance until the repairer catches
+        up). Must be at least ``k``.
+    """
+
+    kind = StorageKind.REMOTE
+    survives_node_failure = True
+
+    def __init__(
+        self,
+        storage: StorageCluster,
+        data_shards: int = 4,
+        parity_shards: int = 2,
+        write_shards: Optional[int] = None,
+        timeout_ns: int = 2 * NS_PER_MS,
+        backoff_base_ns: int = 500 * NS_PER_US,
+        backoff_factor: float = 2.0,
+        backoff_cap_ns: int = 16 * NS_PER_MS,
+    ) -> None:
+        _check_km(data_shards, parity_shards)
+        n = len(storage.servers)
+        if data_shards + parity_shards > n:
+            raise StorageError(
+                f"{data_shards}+{parity_shards} code needs at least "
+                f"{data_shards + parity_shards} servers, cluster has {n}"
+            )
+        super().__init__(device=storage.link)
+        self.storage = storage
+        self.k = data_shards
+        self.m = parity_shards
+        self.write_shards = (
+            write_shards if write_shards is not None else data_shards + parity_shards
+        )
+        if not self.k <= self.write_shards <= self.k + self.m:
+            raise StorageError(
+                f"write_shards {self.write_shards} not in "
+                f"{self.k}..{self.k + self.m}"
+            )
+        self.timeout_ns = int(timeout_ns)
+        self.backoff_base_ns = int(backoff_base_ns)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_cap_ns = int(backoff_cap_ns)
+        #: key -> accounted nbytes of every accepted blob.
+        self._directory: Dict[str, int] = {}
+        # Quorum/retry statistics, mirroring ReplicatedStore's.
+        self.write_retries = 0
+        self.read_retries = 0
+        self.backoff_ns_total = 0
+        self.quorum_write_failures = 0
+        self.quorum_read_failures = 0
+        self.degraded_reads = 0
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def shard_size(self, nbytes: int) -> int:
+        """Accounted bytes of one shard of an ``nbytes`` blob."""
+        return -(-int(nbytes) // self.k)
+
+    def candidates(self, key: str) -> List[StorageServer]:
+        """All servers in rendezvous-preference order for ``key``."""
+        return sorted(
+            self.storage.servers,
+            key=lambda s: (_score(key, s.server_id), s.server_id),
+            reverse=True,
+        )
+
+    def shard_holders(self, key: str, up_only: bool = True) -> Dict[int, StorageServer]:
+        """shard index -> holding server (reachable only, by default)."""
+        skey = _skey(key)
+        out: Dict[int, StorageServer] = {}
+        for server in self.candidates(key):
+            if not server.holds(skey):
+                continue
+            if up_only and not server.up:
+                continue
+            shard = server.replicas[skey][0]
+            if isinstance(shard, Shard) and shard.index not in out:
+                out[shard.index] = server
+        return out
+
+    def shard_count(self, key: str) -> int:
+        """Distinct live shards of ``key``."""
+        return len(self.shard_holders(key))
+
+    def under_replicated(self) -> List[str]:
+        """Keys that are readable but missing shards (repairable)."""
+        full = self.k + self.m
+        return [
+            k
+            for k in sorted(self._directory)
+            if self.k <= self.shard_count(k) < full
+        ]
+
+    def lost_keys(self) -> List[str]:
+        """Keys with fewer than ``k`` live shards (currently lost)."""
+        return [
+            k for k in sorted(self._directory) if self.shard_count(k) < self.k
+        ]
+
+    # ------------------------------------------------------------------
+    # Coding helpers
+    # ------------------------------------------------------------------
+    def _encode(self, obj: Any) -> List[Shard]:
+        payload, kind = _payload_of(obj)
+        if payload is None:
+            return [
+                Shard(i, self.k, self.m, None, 0, "opaque", obj)
+                for i in range(self.k + self.m)
+            ]
+        coded = rs_encode(payload, self.k, self.m)
+        return [
+            Shard(i, self.k, self.m, coded[i], len(payload), kind)
+            for i in range(self.k + self.m)
+        ]
+
+    def _reconstruct(self, key: str, shards: Dict[int, Shard]) -> Any:
+        first = next(iter(shards.values()))
+        if first.payload_kind == "opaque":
+            return first.obj
+        payload = rs_decode(
+            {i: s.payload for i, s in shards.items()},
+            self.k,
+            self.m,
+            first.payload_len,
+        )
+        if first.payload_kind == "u8":
+            return np.frombuffer(payload, dtype=np.uint8).copy()
+        return payload
+
+    # ------------------------------------------------------------------
+    # StorageBackend protocol
+    # ------------------------------------------------------------------
+    def store(self, key: str, obj: Any, nbytes: int, now_ns: int) -> int:
+        """Stripe ``obj`` onto ``k+m`` distinct servers.
+
+        Returns the client-visible delay: the retry-walk penalty plus
+        the instant the ``write_shards``-th shard is durable.
+        """
+        metrics = self.storage.engine.metrics
+        snb = self.shard_size(nbytes)
+        shards = self._encode(obj)
+        placed: List[Tuple[StorageServer, Shard, int]] = []
+        penalty = 0
+        backoff = self.backoff_base_ns
+        for server in self.candidates(key):
+            if len(placed) >= self.k + self.m:
+                break
+            if not server.up:
+                penalty += self.timeout_ns + backoff
+                self.write_retries += 1
+                metrics.inc("storage.write_retries")
+                self.backoff_ns_total += backoff
+                backoff = min(int(backoff * self.backoff_factor), self.backoff_cap_ns)
+                continue
+            start = now_ns + penalty
+            link_delay = self.device.submit(start, snb)
+            disk_delay = server.disk.submit(start + link_delay, snb)
+            placed.append((server, shards[len(placed)], penalty + link_delay + disk_delay))
+        if len(placed) < self.write_shards:
+            self.quorum_write_failures += 1
+            metrics.inc("storage.quorum_write_failures")
+            raise StorageLostError(
+                f"erasure write quorum unreachable for {key!r}: "
+                f"{len(placed)} of {self.write_shards} required shards placed "
+                f"({len(self.storage.up_servers())}/{len(self.storage.servers)} "
+                f"servers up)"
+            )
+        for server, shard, _ in placed:
+            server.put_replica(_skey(key), shard, snb)
+        self._directory[key] = nbytes
+        self.bytes_written += snb * len(placed)
+        delay = sorted(d for _, _, d in placed)[self.write_shards - 1]
+        metrics.inc("storage.erasure_writes")
+        metrics.inc("storage.shard_bytes_written", snb * len(placed))
+        metrics.observe("storage.write_ns", delay)
+        return delay
+
+    def load(self, key: str, now_ns: int) -> Tuple[Any, int]:
+        """Gather any ``k`` live shards in parallel and reconstruct.
+
+        Data shards are preferred; any parity involvement counts as a
+        *degraded read* (the decode matrix must be inverted).  All
+        ``k`` shard fetches are issued at ``now_ns`` -- shards live on
+        distinct disks, so the delay is the slowest fetch, not the sum.
+        """
+        if key not in self._directory:
+            raise StorageError(f"no blob stored under {key!r}")
+        metrics = self.storage.engine.metrics
+        nbytes = self._directory[key]
+        snb = self.shard_size(nbytes)
+        holders = self.shard_holders(key)
+        if len(holders) < self.k:
+            self.quorum_read_failures += 1
+            metrics.inc("storage.quorum_read_failures")
+            raise StorageLostError(
+                f"erasure read failed for {key!r}: {len(holders)} live "
+                f"shards, {self.k} required"
+            )
+        chosen = sorted(holders)[: self.k]
+        gathered: Dict[int, Shard] = {}
+        worst = 0
+        for idx in chosen:
+            server = holders[idx]
+            disk_delay = server.disk.submit(now_ns, snb)
+            link_delay = self.device.submit(now_ns + disk_delay, snb)
+            worst = max(worst, disk_delay + link_delay)
+            server.bytes_read += snb
+            gathered[idx] = server.replicas[_skey(key)][0]
+        degraded = any(i >= self.k for i in chosen)
+        if degraded:
+            self.degraded_reads += 1
+            metrics.inc("storage.degraded_reads")
+        obj = self._reconstruct(key, gathered)
+        self.bytes_read += nbytes
+        metrics.inc("storage.erasure_reads")
+        metrics.observe("storage.read_ns", worst)
+        return obj, worst
+
+    def load_fanout(self, key: str, now_ns: int) -> Tuple[Any, int]:
+        """Erasure reads are already a parallel shard fan-in."""
+        return self.load(key, now_ns)
+
+    def store_async(self, key: str, obj: Any, nbytes: int, now_ns: int) -> Completion:
+        """Striped write as an engine completion (writeback pipeline)."""
+        delay = self.store(key, obj, nbytes, now_ns)
+        self.storage.engine.metrics.inc("storage.async_writes")
+        return self.storage.engine.completion(delay, value=delay)
+
+    def load_async(self, key: str, now_ns: int) -> Completion:
+        """Shard gather as an engine completion (restore prefetch)."""
+        obj, delay = self.load(key, now_ns)
+        self.storage.engine.metrics.inc("storage.async_reads")
+        return self.storage.engine.completion(delay, value=obj)
+
+    def load_parallel(self, keys, now_ns: int) -> Tuple[Dict[str, Any], int]:
+        """Prefetch several blobs issued at one instant (chain restore)."""
+        objs: Dict[str, Any] = {}
+        worst = 0
+        for key in keys:
+            obj, delay = self.load(key, now_ns)
+            objs[key] = obj
+            worst = max(worst, delay)
+        return objs, worst
+
+    def open_stream(self, key: str, now_ns: int) -> "ErasureWriteStream":
+        """Open a pipelined multi-extent striped write (COW drain path)."""
+        return ErasureWriteStream(self, key, now_ns)
+
+    def exists(self, key: str) -> bool:
+        """Whether a read of ``key`` would currently succeed."""
+        return key in self._directory and self.shard_count(key) >= self.k
+
+    def peek(self, key: str) -> Any:
+        """Inspect a blob without charging I/O (GC / availability checks)."""
+        if key not in self._directory:
+            raise StorageError(f"no blob stored under {key!r}")
+        holders = self.shard_holders(key)
+        if len(holders) < self.k:
+            raise StorageLostError(
+                f"fewer than {self.k} reachable shards of {key!r}"
+            )
+        gathered = {
+            i: holders[i].replicas[_skey(key)][0] for i in sorted(holders)[: self.k]
+        }
+        return self._reconstruct(key, gathered)
+
+    def delete(self, key: str) -> None:
+        """Drop every shard (idempotent)."""
+        self._directory.pop(key, None)
+        for server in self.storage.servers:
+            server.drop_replica(_skey(key))
+
+    def keys(self) -> Iterator[str]:
+        """Stored blob keys, sorted."""
+        return iter(sorted(self._directory))
+
+    def stored_bytes(self) -> int:
+        """Logical bytes held (one count per blob)."""
+        return sum(self._directory.values())
+
+    def blob_size(self, key: str) -> int:
+        """Accounted size of a stored blob (0 when absent)."""
+        return self._directory.get(key, 0)
+
+    def physical_bytes(self) -> int:
+        """Shard bytes actually on server disks (~ (k+m)/k per logical).
+
+        Counts only this store's shard entries, so the figure stays
+        honest when the cluster is shared with a ReplicatedStore.
+        """
+        return sum(
+            rn
+            for s in self.storage.servers
+            for rkey, (_o, rn) in s.replicas.items()
+            if rkey.endswith(_SHARD_SUFFIX)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ErasureStore {self.k}+{self.m} "
+            f"keys={len(self._directory)}>"
+        )
+
+
+class ErasureWriteStream:
+    """An open pipelined striped write of one blob.
+
+    Mirrors :class:`~repro.stablestore.ReplicaWriteStream`: opening
+    performs the rendezvous retry walk once and pins ``k+m`` servers
+    (one shard index each); each :meth:`send` forwards one extent's
+    worth of shard slices (``ceil(nbytes/k)`` per pinned server) over
+    the shared link and onto the pinned disks; :meth:`commit` encodes
+    the finished object, charges the remainder, installs the shards and
+    the directory entry.  The blob is visible only at commit, so a
+    crash mid-stream never publishes a torn stripe.  If pinned servers
+    fail mid-stream and fewer than ``write_shards`` remain, the next
+    send/commit raises :class:`~repro.errors.StorageLostError`.
+    """
+
+    def __init__(self, store: ErasureStore, key: str, now_ns: int) -> None:
+        self.store = store
+        self.key = key
+        self.opened_ns = now_ns
+        self.sent_bytes = 0
+        self.sent_shard_bytes = 0
+        self.committed = False
+        metrics = store.storage.engine.metrics
+        pinned: List[StorageServer] = []
+        penalty = 0
+        backoff = store.backoff_base_ns
+        for server in store.candidates(key):
+            if len(pinned) >= store.k + store.m:
+                break
+            if not server.up:
+                penalty += store.timeout_ns + backoff
+                store.write_retries += 1
+                metrics.inc("storage.write_retries")
+                store.backoff_ns_total += backoff
+                backoff = min(int(backoff * store.backoff_factor), store.backoff_cap_ns)
+                continue
+            pinned.append(server)
+        if len(pinned) < store.write_shards:
+            store.quorum_write_failures += 1
+            metrics.inc("storage.quorum_write_failures")
+            raise StorageLostError(
+                f"erasure write quorum unreachable for {key!r}: "
+                f"{len(pinned)} of {store.write_shards} required shard "
+                f"servers reachable"
+            )
+        #: shard index -> pinned server, assigned at open time.
+        self.servers: Dict[int, StorageServer] = dict(enumerate(pinned))
+        self.open_penalty_ns = penalty
+
+    def _live_servers(self) -> Dict[int, StorageServer]:
+        live = {i: s for i, s in self.servers.items() if s.up}
+        if len(live) < self.store.write_shards:
+            self.store.quorum_write_failures += 1
+            self.store.storage.engine.metrics.inc("storage.quorum_write_failures")
+            raise StorageLostError(
+                f"erasure write quorum lost mid-stream for {self.key!r}: "
+                f"{len(live)} of {self.store.write_shards} pinned shard "
+                f"servers up"
+            )
+        return live
+
+    def send(self, nbytes: int, now_ns: int) -> int:
+        """Forward one extent's shard slices to every live pinned
+        server; returns the delay at which the ``write_shards``-th
+        slice is durable."""
+        live = self._live_servers()
+        snb = self.store.shard_size(nbytes)
+        delays: List[int] = []
+        for server in live.values():
+            link_delay = self.store.device.submit(now_ns, snb)
+            disk_delay = server.disk.submit(now_ns + link_delay, snb)
+            delays.append(link_delay + disk_delay)
+        self.sent_bytes += int(nbytes)
+        self.sent_shard_bytes += snb
+        delays.sort()
+        return delays[min(self.store.write_shards, len(live)) - 1]
+
+    def send_chunk(self, chunk: Any, now_ns: int) -> int:
+        """Queue one captured chunk (dedup-aware streams override)."""
+        return self.send(int(chunk.nbytes), now_ns)
+
+    def commit(self, obj: Any, nbytes: int, now_ns: int) -> int:
+        """Encode the finished object, charge the shard remainders and
+        make the blob visible.  Total traffic matches a monolithic
+        :meth:`ErasureStore.store` of the same image."""
+        if self.committed:
+            raise StorageError(f"stream for {self.key!r} already committed")
+        st = self.store
+        live = self._live_servers()
+        snb = st.shard_size(nbytes)
+        remainder = max(0, snb - self.sent_shard_bytes)
+        shards = st._encode(obj)
+        delays: List[int] = []
+        for idx, server in live.items():
+            link_delay = st.device.submit(now_ns, remainder)
+            disk_delay = server.disk.submit(now_ns + link_delay, remainder)
+            delays.append(link_delay + disk_delay)
+            server.put_replica(_skey(self.key), shards[idx], snb)
+        self.committed = True
+        st._directory[self.key] = nbytes
+        st.bytes_written += snb * len(live)
+        delays.sort()
+        delay = delays[min(st.write_shards, len(live)) - 1]
+        metrics = st.storage.engine.metrics
+        metrics.inc("storage.erasure_writes")
+        metrics.inc("storage.shard_bytes_written", snb * len(live))
+        metrics.observe("storage.write_ns", delay)
+        return delay
+
+
+class ErasureRepairer(ReplicationRepairer):
+    """Background re-encode of lost shards after server failures.
+
+    Inherits :class:`ReplicationRepairer`'s cadence -- failure-detect
+    scan after ``detect_delay_ns``, steady-state scan every
+    ``scan_interval_ns``, at most ``max_repairs_per_scan`` in-flight
+    keys -- but a repair reads ``k`` surviving shards (k source disks
+    and k link crossings), re-encodes the missing shard, and writes it
+    to a server that holds none of the blob's shards.
+    """
+
+    def _start_repair(self, key: str) -> bool:
+        store = self.store
+        holders = store.shard_holders(key)
+        if len(holders) < store.k:
+            return False  # unreadable: nothing to re-encode from
+        present = set(holders)
+        missing = [i for i in range(store.k + store.m) if i not in present]
+        if not missing:
+            return False
+        with_shards = {s.server_id for s in holders.values()}
+        skey = _skey(key)
+        dest = next(
+            (
+                s
+                for s in store.candidates(key)
+                if s.up and not s.holds(skey) and s.server_id not in with_shards
+            ),
+            None,
+        )
+        if dest is None:
+            return False  # nowhere to put a re-encoded shard
+        idx = missing[0]
+        snb = store.shard_size(store._directory[key])
+        now = self.engine.now_ns
+        sources = [holders[i] for i in sorted(holders)[: store.k]]
+        gathered = {
+            i: holders[i].replicas[skey][0] for i in sorted(holders)[: store.k]
+        }
+        # k parallel source reads fan in over the shared link, then the
+        # re-encoded shard is written to the destination disk.
+        read_worst = 0
+        for src in sources:
+            d = src.disk.submit(now, snb)
+            d += store.device.submit(now + d, snb)
+            src.bytes_read += snb
+            read_worst = max(read_worst, d)
+        delay = read_worst
+        delay += store.device.submit(now + delay, snb)
+        delay += dest.disk.submit(now + delay, snb)
+        shard = self._rebuild(gathered, idx)
+        self._inflight.add(key)
+        self.engine.after(
+            delay,
+            lambda: self._finish_shard(key, dest, shard, snb, begun_ns=now),
+            label="shard-repair",
+        )
+        return True
+
+    def _rebuild(self, gathered: Dict[int, Shard], index: int) -> Shard:
+        first = next(iter(gathered.values()))
+        if first.payload_kind == "opaque":
+            return Shard(
+                index, first.k, first.m, None, 0, "opaque", first.obj
+            )
+        payload = rs_rebuild_shard(
+            {i: s.payload for i, s in gathered.items()},
+            first.k,
+            first.m,
+            index,
+            first.payload_len,
+        )
+        return Shard(
+            index, first.k, first.m, payload, first.payload_len, first.payload_kind
+        )
+
+    def _finish_shard(
+        self, key: str, dest, shard: Shard, snb: int, begun_ns: int = 0
+    ) -> None:
+        self._inflight.discard(key)
+        if key not in self.store._directory:
+            return  # deleted (GC'd) while the repair was in flight
+        if not dest.up:
+            return  # destination died mid-repair; a later scan retries
+        if shard.index in self.store.shard_holders(key):
+            return  # another path already restored this shard
+        dest.put_replica(_skey(key), shard, snb)
+        self.repairs_completed += 1
+        self.bytes_rereplicated += snb
+        self.engine.count("shard_repairs")
+        self.engine.metrics.inc("storage.shard_repair_bytes", snb)
+        self.engine.tracer.record(
+            "storage.shard_repair",
+            begun_ns,
+            self.engine.now_ns,
+            key=key,
+            dest=dest.server_id,
+            shard=shard.index,
+            nbytes=snb,
+        )

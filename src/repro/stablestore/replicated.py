@@ -281,14 +281,23 @@ class ReplicatedStore(StorageBackend):
         return self.storage.engine.completion(delay, value=delay)
 
     def load_fanout(self, key: str, now_ns: int) -> Tuple[Any, int]:
-        """Read from *every* live holder in parallel; fastest reply wins.
+        """Read from the R estimated-fastest live holders in parallel.
 
         The synchronous :meth:`load` walks holders in preference order
         and pays ``timeout + backoff`` for each dead candidate it tries.
-        The fan-out issues the read to all live holders at one instant:
-        dead servers simply never answer (no timeout on the client's
-        critical path) and the client returns at the R-th *fastest*
-        response instead of the R-th in preference order.
+        The fan-out *issues* the read to every live holder at one
+        instant (dead servers simply never answer, so no timeout sits
+        on the client's critical path), but only the ``read_quorum``
+        holders whose disks are estimated to respond fastest actually
+        stream the blob -- the losing requests are cancelled before
+        their transfers start.  The explicit traffic model: exactly R
+        holders pay a disk read and a link crossing of ``nbytes`` and
+        bump ``bytes_read``, identical to the serial :meth:`load`'s
+        charge for the same cluster state (ties break in rendezvous
+        preference order, the serial walk's order).  Earlier versions
+        charged *every* live holder's disk and the shared link for full
+        reads whose responses were then discarded, so fan-out and
+        serial device counters disagreed.
         """
         if key not in self._directory:
             raise StorageError(f"no blob stored under {key!r}")
@@ -302,16 +311,19 @@ class ReplicatedStore(StorageBackend):
                 f"read quorum unreachable for {key!r}: "
                 f"{len(holders)} live holders, {self.read_quorum} required"
             )
+        order = sorted(
+            range(len(holders)),
+            key=lambda i: (holders[i].disk.estimate(now_ns, nbytes), i),
+        )
+        winners = [holders[i] for i in order[: self.read_quorum]]
         obj: Any = None
-        delays: List[int] = []
-        for server in holders:
+        delay = 0
+        for server in winners:
             disk_delay = server.disk.submit(now_ns, nbytes)
             link_delay = self.device.submit(now_ns + disk_delay, nbytes)
-            delays.append(disk_delay + link_delay)
+            delay = max(delay, disk_delay + link_delay)
             server.bytes_read += nbytes
             obj = server.replicas[key][0]
-        delays.sort()
-        delay = delays[self.read_quorum - 1]
         self.bytes_read += nbytes
         metrics.inc("storage.fanout_reads")
         metrics.observe("storage.read_ns", delay)
@@ -383,8 +395,19 @@ class ReplicatedStore(StorageBackend):
         return self._directory.get(key, 0)
 
     def physical_bytes(self) -> int:
-        """Replica-weighted bytes actually on server disks."""
-        return sum(s.stored_bytes() for s in self.storage.servers)
+        """Replica-weighted bytes actually on server disks.
+
+        Counts only this store's replica entries, so the figure stays
+        honest when the cluster is shared with an
+        :class:`~repro.stablestore.ErasureStore` (whose shard entries
+        live under namespaced server keys).
+        """
+        return sum(
+            nb
+            for s in self.storage.servers
+            for rkey, (_obj, nb) in s.replicas.items()
+            if rkey in self._directory
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -60,6 +60,16 @@ class Device:
         self.total_ops += 1
         return finish - now_ns
 
+    def estimate(self, now_ns: int, nbytes: int) -> int:
+        """Completion delay :meth:`submit` would return, without enqueuing.
+
+        Fan-out readers use this to pick the fastest replicas *before*
+        committing traffic to their devices, so losing candidates are
+        never charged for transfers whose responses would be discarded.
+        """
+        start = max(now_ns, self.busy_until_ns)
+        return start + self.transfer_time_ns(nbytes) - now_ns
+
     def utilization_reset(self) -> None:
         """Zero the statistics counters."""
         self.total_bytes = 0

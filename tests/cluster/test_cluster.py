@@ -189,6 +189,61 @@ class TestCoordinator:
         assert not done
         assert coord.unrecoverable  # E13: checkpoints died with the disk
 
+    def test_prefetch_restore_falls_back_to_serial(self):
+        """Regression: a transient quorum loss *during* the parallel
+        chain prefetch used to mark the whole job unrecoverable even
+        though the serial generation-fallback walk could still read
+        every image.  The coordinator must retry serially per rank."""
+
+        class FlakyPrefetchStore:
+            """load_parallel always fails mid-fetch; every other call
+            forwards to the real replicated service."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.parallel_attempts = 0
+
+            def load_parallel(self, keys, now_ns):
+                self.parallel_attempts += 1
+                raise StorageLostError("quorum lost mid-prefetch")
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        cl = Cluster(n_nodes=2, n_spares=1, seed=7,
+                     storage_servers=3, replication=2)
+        flaky = FlakyPrefetchStore(cl.remote_storage)
+        job = ParallelJob(cl, writer_factory(iterations=4000), n_ranks=2)
+        mechs = {
+            n.node_id: AutonomicCheckpointer(n.kernel, flaky)
+            for n in cl.nodes
+        }
+        coord = CheckpointCoordinator(
+            job, mechs, 30 * NS_PER_MS, restore_prefetch=True
+        )
+        coord.start()
+        cl.engine.after(100 * NS_PER_MS, lambda: cl.fail_node(0))
+        done = job.run_to_completion(limit_ns=120 * NS_PER_S)
+        assert done
+        assert flaky.parallel_attempts >= 1
+        assert coord.prefetch_fallbacks >= 1
+        assert coord.recoveries == 1
+        assert not coord.unrecoverable
+
+    def test_prefetch_restore_success_path_never_falls_back(self):
+        cl = Cluster(n_nodes=2, n_spares=1, seed=7,
+                     storage_servers=3, replication=2)
+        job = ParallelJob(cl, writer_factory(iterations=4000), n_ranks=2)
+        coord = CheckpointCoordinator(
+            job, autockpt_mechs(cl), 30 * NS_PER_MS, restore_prefetch=True
+        )
+        coord.start()
+        cl.engine.after(100 * NS_PER_MS, lambda: cl.fail_node(0))
+        done = job.run_to_completion(limit_ns=120 * NS_PER_S)
+        assert done
+        assert coord.prefetch_fallbacks == 0
+        assert coord.recoveries == 1
+
     def test_failure_before_first_wave_degenerates_to_scratch(self):
         cl = Cluster(n_nodes=2, n_spares=1, seed=7)
         job = ParallelJob(cl, writer_factory(iterations=2000), n_ranks=2)

@@ -77,6 +77,30 @@ class TestFoldExports:
         docs = [make_doc(now_ns=50), make_doc(now_ns=90)]
         assert fold_exports(docs)["virtual_time_ns"] == 90
 
+    def test_mixed_numeric_gauges_fold_with_max(self):
+        a = make_doc(gauges=[("g", 2)])
+        b = make_doc(gauges=[("g", 3.5)])
+        assert fold_exports([a, b])["metrics"]["gauges"]["g"] == 3.5
+
+    def test_identical_nonnumeric_gauges_pass_through(self):
+        a = make_doc(gauges=[("mode", "steady")])
+        b = make_doc(gauges=[("mode", "steady")])
+        assert fold_exports([a, b])["metrics"]["gauges"]["mode"] == "steady"
+
+    def test_differing_nonnumeric_gauges_raise_named_error(self):
+        """Non-numeric gauges used to die with a bare TypeError from
+        ``max``; now the error names the offending metric."""
+        a = make_doc(gauges=[("mode", "steady"), ("ok", 1)])
+        b = make_doc(gauges=[("mode", "draining"), ("ok", 2)])
+        with pytest.raises(ObservabilityError, match="gauge 'mode'"):
+            fold_exports([a, b])
+
+    def test_nonnumeric_vs_numeric_gauge_raises_not_typeerror(self):
+        a = make_doc(gauges=[("g", "high")])
+        b = make_doc(gauges=[("g", 7)])
+        with pytest.raises(ObservabilityError, match="gauge 'g'"):
+            fold_exports([a, b])
+
     def test_meta_mismatch_rejected(self):
         a = make_doc(meta={"experiment": "t", "shard": 0})
         b = make_doc(meta={"experiment": "t", "shard": 1})

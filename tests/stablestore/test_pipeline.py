@@ -170,6 +170,61 @@ class TestFanoutRead:
         with pytest.raises(StorageLostError):
             store.load_fanout("m/1/1", 0)
 
+    def test_fanout_charges_only_read_quorum_winners(self):
+        """Regression: the fan-out read used to charge *every* live
+        holder for a full transfer and then discard all but the quorum
+        responses, so per-device byte counters diverged from the serial
+        read's explicit traffic model.  Only the R winners may pay."""
+        nbytes = 1 << 20
+        _, sc_a, serial = make_store(n=3, rf=3)
+        _, sc_b, fanout = make_store(n=3, rf=3)
+        for store in (serial, fanout):
+            store.store("m/1/1", "obj", nbytes, 0)
+        at = NS_PER_S  # after the store traffic drains: disks idle
+        serial.load("m/1/1", at)
+        fanout.load_fanout("m/1/1", at)
+        per_server_serial = sorted(
+            (s.server_id, s.bytes_read) for s in sc_a.servers
+        )
+        per_server_fanout = sorted(
+            (s.server_id, s.bytes_read) for s in sc_b.servers
+        )
+        # Identical per-device charges: the same single winner (idle
+        # equal disks tie-break in rendezvous preference order), one
+        # full transfer, nothing billed to the losing holders.
+        assert per_server_serial == per_server_fanout
+        assert sum(b for _, b in per_server_fanout) == nbytes
+        assert serial.bytes_read == fanout.bytes_read == nbytes
+        for da, db in zip(
+            (s.disk for s in sc_a.servers), (s.disk for s in sc_b.servers)
+        ):
+            assert da.total_bytes == db.total_bytes
+        assert serial.device.total_bytes == fanout.device.total_bytes
+
+    def test_fanout_read_quorum_bills_r_servers(self):
+        nbytes = 4096
+        _, sc, store = make_store(n=3, rf=3, read_quorum=2)
+        store.store("m/1/1", "obj", nbytes, 0)
+        at = NS_PER_S
+        store.load_fanout("m/1/1", at)
+        billed = [s for s in sc.servers if s.bytes_read]
+        assert len(billed) == 2
+        assert sum(s.bytes_read for s in sc.servers) == 2 * nbytes
+        # The blob itself is counted once, not once per quorum member.
+        assert store.bytes_read == nbytes
+
+    def test_fanout_prefers_idle_disk_over_busy_preference_leader(self):
+        _, sc, store = make_store(n=3, rf=2)
+        nbytes = 1 << 20
+        store.store("m/1/1", "obj", nbytes, 0)
+        first, second = store.holders("m/1/1")
+        at = NS_PER_S
+        # Swamp the preferred holder's disk with a long foreign transfer.
+        sc.server(first).disk.submit(at, 64 << 20)
+        store.load_fanout("m/1/1", at)
+        assert sc.server(second).bytes_read == nbytes
+        assert sc.server(first).bytes_read == 0
+
     def test_load_parallel_overlaps_keys(self):
         _, _, store = make_store()
         for i in range(4):
