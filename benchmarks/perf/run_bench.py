@@ -45,6 +45,12 @@ PR's perf claims live here:
   algorithmic (each fleet dispatch scans ``n/S`` nodes instead of
   ``n``), so it holds even on a single-core runner.
 
+* ``erasure_kernels`` -- the GF(2^8) Reed-Solomon hot path: packed
+  pair-table encode and degraded decode MB/s, the O(dirty)
+  ``rs_update_parity`` delta path (effective MB/s of re-protecting the
+  whole payload plus the kernel-bytes ratio vs a full re-encode), with
+  the delta parity asserted byte-identical to full encode inline.
+
 Results are written as JSON (default: ``BENCH_PERF.json`` at the repo
 root -- the committed baseline).  ``--check BASELINE.json`` compares the
 fresh block-scan throughput against a committed baseline and exits
@@ -852,6 +858,97 @@ def bench_storage_hierarchy(payload_kib: int, repeats: int) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Erasure kernels: packed-table encode, degraded decode, delta parity
+# ----------------------------------------------------------------------
+def bench_erasure_kernels(payload_kib: int, dirty_fraction: float,
+                          repeats: int) -> Dict:
+    """Wall throughput of the vectorized GF(2^8) kernels.
+
+    * ``encode_mbps`` / ``decode_degraded_mbps`` -- the packed
+      pair-table matmul over a ``k+m`` stripe (decode with every parity
+      shard in play, so the Gauss-Jordan inverse path runs).
+    * ``delta_update_mbps`` -- effective payload MB/s of
+      :func:`~repro.stablestore.rs_update_parity` refreshing parity for
+      a ``dirty_fraction``-dirty payload: the whole payload counts as
+      protected but only the dirty runs hit the multiply kernel.
+    * ``delta_vs_full_kernel_bytes`` -- kernel bytes of a full
+      re-encode over kernel bytes of the delta update (the O(f) claim;
+      the CI smoke asserts >= 3x at 10% dirty).
+    * ``byte_identical`` -- delta parity equals full-encode parity,
+      asserted inline on every run.
+    """
+    from repro.stablestore import (
+        KERNEL_STATS, reset_kernel_stats, rs_decode, rs_encode,
+        rs_update_parity,
+    )
+
+    k, m = 4, 2
+    rng = np.random.default_rng(29)
+    payload = rng.integers(0, 256, payload_kib * 1024,
+                           dtype=np.uint8).tobytes()
+    mb = len(payload) / 1e6
+
+    # A single encode is ~quarter-millisecond work, so a handful of
+    # samples under-measures it badly when this bench runs after
+    # minutes of sustained load; warm the table caches, then take the
+    # min over a sample count sized for a microbenchmark.
+    samples = max(repeats, 25)
+    rs_encode(payload, k, m)
+    t_enc = best_of(lambda: rs_encode(payload, k, m), samples)
+    shards = rs_encode(payload, k, m)
+    worst = {i: shards[i] for i in range(m, k + m)}  # all parity in play
+    rs_decode(worst, k, m, len(payload))
+    t_dec = best_of(lambda: rs_decode(worst, k, m, len(payload)), samples)
+    assert rs_decode(worst, k, m, len(payload)) == payload
+
+    # A dirty_fraction of the payload, spread as 256-byte runs.
+    run_len = 256
+    n_runs = max(1, int(len(payload) * dirty_fraction) // run_len)
+    stride = len(payload) // n_runs
+    dirty = [(i * stride, run_len) for i in range(n_runs)]
+    new_payload = bytearray(payload)
+    for off, length in dirty:
+        new_payload[off : off + length] = rng.integers(
+            0, 256, length, dtype=np.uint8
+        ).tobytes()
+    new_payload = bytes(new_payload)
+
+    old_parity = shards[k:]
+    rs_update_parity(old_parity, dirty, payload, new_payload, k, m)
+    t_delta = best_of(
+        lambda: rs_update_parity(old_parity, dirty, payload, new_payload, k, m),
+        samples,
+    )
+    full = rs_encode(new_payload, k, m)
+    byte_identical = float(
+        rs_update_parity(old_parity, dirty, payload, new_payload, k, m)
+        == full[k:]
+    )
+
+    reset_kernel_stats()
+    rs_update_parity(old_parity, dirty, payload, new_payload, k, m)
+    delta_kernel_bytes = KERNEL_STATS["delta_bytes"]
+    reset_kernel_stats()
+    rs_encode(new_payload, k, m)
+    full_kernel_bytes = KERNEL_STATS["encode_bytes"]
+    reset_kernel_stats()
+
+    return {
+        "k": k,
+        "m": m,
+        "payload_kib": payload_kib,
+        "dirty_fraction": dirty_fraction,
+        "encode_mbps": round(mb / t_enc, 1),
+        "decode_degraded_mbps": round(mb / t_dec, 1),
+        "delta_update_mbps": round(mb / t_delta, 1),
+        "delta_vs_full_kernel_bytes": round(
+            full_kernel_bytes / max(1, delta_kernel_bytes), 2
+        ),
+        "byte_identical": byte_identical,
+    }
+
+
+# ----------------------------------------------------------------------
 def run(repeats: int) -> Dict:
     """Run every microbench and return the BENCH_PERF document."""
     return {
@@ -874,6 +971,8 @@ def run(repeats: int) -> Dict:
                                    repeats=max(1, repeats // 2)),
         "storage_hierarchy": bench_storage_hierarchy(
             payload_kib=256, repeats=repeats),
+        "erasure_kernels": bench_erasure_kernels(
+            payload_kib=256, dirty_fraction=0.1, repeats=repeats),
     }
 
 
@@ -937,6 +1036,24 @@ def check_regression(current: Dict, baseline_path: Path, max_regression: float) 
         guarded.append(("hierarchy RS encode MB/s",
                         baseline["storage_hierarchy"]["encode_mbps"],
                         current["storage_hierarchy"]["encode_mbps"]))
+    if "erasure_kernels" in baseline:
+        # byte_identical and the kernel-bytes ratio are deterministic:
+        # a delta/full divergence or an O(f) regression fails outright.
+        guarded.append(("erasure kernel encode MB/s",
+                        baseline["erasure_kernels"]["encode_mbps"],
+                        current["erasure_kernels"]["encode_mbps"]))
+        guarded.append(("erasure kernel degraded decode MB/s",
+                        baseline["erasure_kernels"]["decode_degraded_mbps"],
+                        current["erasure_kernels"]["decode_degraded_mbps"]))
+        guarded.append(("erasure delta-update MB/s",
+                        baseline["erasure_kernels"]["delta_update_mbps"],
+                        current["erasure_kernels"]["delta_update_mbps"]))
+        guarded.append(("erasure delta vs full kernel bytes",
+                        baseline["erasure_kernels"]["delta_vs_full_kernel_bytes"],
+                        current["erasure_kernels"]["delta_vs_full_kernel_bytes"]))
+        guarded.append(("erasure delta byte identity",
+                        baseline["erasure_kernels"]["byte_identical"],
+                        current["erasure_kernels"]["byte_identical"]))
     status = 0
     for name, base, cur in guarded:
         ratio = base / max(cur, 1e-9)

@@ -210,7 +210,9 @@ class Cluster:
         - ``erasure_servers`` -- group size (default ``k + m``);
         - ``erasure_policy`` -- ``"through"`` or ``"back"`` (default);
         - ``writeback_delay_ns`` -- delay before write-back copies;
-        - ``promote_on_access`` -- copy reads into faster levels.
+        - ``promote_on_access`` -- copy reads into faster levels;
+        - ``delta_updates`` -- route dirty-delta stores through the
+          erasure tier's O(dirty) partial-stripe update (default on).
 
         A degenerate ``{"partner_rf": N}`` spec is the plain replicated
         path behind a one-level hierarchy (charge-for-charge identical;
@@ -316,6 +318,7 @@ class Cluster:
         erasure_policy = spec.pop("erasure_policy", "back")
         writeback_delay_ns = spec.pop("writeback_delay_ns", 2 * NS_PER_MS)
         promote_on_access = spec.pop("promote_on_access", True)
+        delta_updates = spec.pop("delta_updates", True)
         if spec:
             raise ClusterError(
                 f"unknown storage_hierarchy keys: {sorted(spec)}"
@@ -356,7 +359,10 @@ class Cluster:
                 "partner_rf and/or erasure)"
             )
         self.hierarchy_store = HierarchicalStore(
-            self.engine, levels, promote_on_access=promote_on_access
+            self.engine,
+            levels,
+            promote_on_access=promote_on_access,
+            delta_updates=bool(delta_updates),
         )
         self.remote_storage = self.hierarchy_store
 

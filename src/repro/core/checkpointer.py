@@ -394,7 +394,32 @@ class Checkpointer:
         try:
             chain, _ = self.image_chain(image.key, prefetch=True)
             flat = self._materialize(image.key, chain)
-            self.storage.store(flat.key, flat, flat.size_bytes, engine.now_ns)
+            old_tip = next((t for t in keys[1:] if t in self._flat_alias), None)
+            delta_fn = getattr(self.storage, "store_delta", None)
+            if old_tip is not None and delta_fn is not None:
+                # Re-compaction: the new flat differs from the previous
+                # chain's flat only where the deltas newer than that tip
+                # wrote, so re-protect just those byte extents (and let
+                # the store rebase the old flat's stripe to the new key).
+                newer = set(keys[: keys.index(old_tip)])
+                page_size = self.kernel.costs.page_size
+                extents = [
+                    ext
+                    for img in chain
+                    if img.key in newer
+                    for ext in img.dirty_byte_extents(page_size)
+                ]
+                delta_fn(
+                    flat.key,
+                    flat,
+                    flat.size_bytes,
+                    extents,
+                    engine.now_ns,
+                    base_key=self._flat_alias[old_tip],
+                )
+                engine.metrics.inc("compaction.delta_runs")
+            else:
+                self.storage.store(flat.key, flat, flat.size_bytes, engine.now_ns)
         except (StorageError, RestartError) as exc:
             span.end(state="failed", error=str(exc))
             return None

@@ -213,6 +213,38 @@ class CheckpointImage:
                     problems.append(f"{c.vma}[{c.page_index}]+{c.offset} differs")
         return problems
 
+    def dirty_byte_extents(self, page_size: int) -> List[Tuple[int, int]]:
+        """Chunk positions as merged byte extents of the flat image.
+
+        VMAs are laid out back-to-back in descriptor order (the same
+        canonical address space every flat image of one task shares, so
+        extents from successive deltas compose), and each chunk maps to
+        ``vma_base + page_index * page_size + offset``.  The result is
+        sorted with overlapping/adjacent runs merged -- the dirty-extent
+        form :meth:`ErasureStore.store_delta
+        <repro.stablestore.ErasureStore.store_delta>` consumes when an
+        incremental checkpoint re-protects a compacted image.
+        """
+        base: Dict[str, int] = {}
+        running = 0
+        for vd in self.vmas:
+            base[vd.name] = running
+            running += vd.nbytes
+        extents: List[Tuple[int, int]] = []
+        for chunk in self.chunks:
+            if chunk.vma not in base:
+                continue
+            start = base[chunk.vma] + chunk.page_index * page_size + chunk.offset
+            extents.append((start, chunk.nbytes))
+        extents.sort()
+        merged: List[List[int]] = []
+        for off, length in extents:
+            if merged and off <= merged[-1][0] + merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], off + length - merged[-1][0])
+            else:
+                merged.append([off, length])
+        return [(off, length) for off, length in merged]
+
     def chunk_index(self) -> Dict[Any, Chunk]:
         """Last-writer-wins index of chunks by (vma, page, offset).
 

@@ -178,6 +178,11 @@ class BlockHashTracker:
         #: (vma, page) -> blocks saved in the most recent scan (density
         #: evidence for :class:`AdaptiveBlockTracker`).
         self.last_scan_saved: Dict[Tuple[str, int], int] = {}
+        #: (vma, page) -> in-page (offset, length) byte runs saved in the
+        #: most recent scan -- the dirty extents a delta-parity store
+        #: (``ErasureStore.store_delta``) re-protects instead of the
+        #: whole image.
+        self.last_scan_extents: Dict[Tuple[str, int], List[Tuple[int, int]]] = {}
 
     def scan_ops(
         self,
@@ -204,6 +209,7 @@ class BlockHashTracker:
         #: of the scan cost that *grows* as blocks shrink.
         PER_BLOCK_NS = 60
         self.last_scan_saved = {}
+        self.last_scan_extents = {}
         if not pages:
             return
         # ---- bulk phase: one digest pass over every candidate page ----
@@ -241,7 +247,11 @@ class BlockHashTracker:
             if not nchanged:
                 continue
             self.blocks_saved += nchanged
-            for first, nblocks in _changed_runs(changed):
+            runs = _changed_runs(changed)
+            self.last_scan_extents[key] = [
+                (first * bs, nblocks * bs) for first, nblocks in runs
+            ]
+            for first, nblocks in runs:
                 image.add_block(
                     vma_name, pidx, first * bs, data[i, first * bs : (first + nblocks) * bs]
                 )

@@ -26,7 +26,9 @@ quorum-replicated client.
 * :class:`ErasureStore` / :class:`ErasureRepairer` -- Reed-Solomon
   ``k+m`` erasure coding over the same storage servers: any ``k`` of
   ``k+m`` shards reconstruct the blob at a fraction of the physical
-  bytes full replication costs.
+  bytes full replication costs.  :meth:`ErasureStore.store_delta` /
+  :class:`DeltaWriteStream` re-protect an f-dirty checkpoint at O(f)
+  cost by delta-updating parity (GF linearity).
 * :class:`HierarchicalStore` -- multi-level stable storage (node-local
   scratch, partner replicas, erasure-coded group, remote replicated
   tier) with promotion/demotion and cross-level reprotection.
@@ -34,13 +36,19 @@ quorum-replicated client.
 
 from .contentstore import ContentStore, DedupWriteStream, ImageManifest
 from .erasure import (
+    KERNEL_STATS,
+    DeltaWriteStream,
     ErasureRepairer,
     ErasureStore,
     ErasureWriteStream,
     Shard,
+    merge_extents,
+    reset_kernel_stats,
     rs_decode,
     rs_encode,
     rs_rebuild_shard,
+    rs_rebuild_shards,
+    rs_update_parity,
 )
 from .gc import GenerationGC
 from .hierarchy import HierarchicalStore, HierarchyWriteStream, StorageLevel
@@ -66,11 +74,17 @@ __all__ = [
     "server_home_shard",
     "ErasureStore",
     "ErasureWriteStream",
+    "DeltaWriteStream",
     "ErasureRepairer",
     "Shard",
     "rs_encode",
     "rs_decode",
+    "rs_update_parity",
     "rs_rebuild_shard",
+    "rs_rebuild_shards",
+    "merge_extents",
+    "KERNEL_STATS",
+    "reset_kernel_stats",
     "StorageLevel",
     "HierarchicalStore",
     "HierarchyWriteStream",

@@ -115,6 +115,11 @@ class HierarchicalStore(StorageBackend):
     promote_on_access:
         Copy an image into the faster levels it missed after a read
         hits a slower level.
+    delta_updates:
+        Route :meth:`store_delta` (and write-back copies carrying dirty
+        extents) through a level backend's own ``store_delta`` when it
+        has one -- the erasure tier's O(dirty) partial-stripe update.
+        Off, every delta degrades to a plain full store on every level.
     reprotect:
         Watch each level's storage cluster (when it has one) and copy
         blobs the level lost outright back from a surviving level.
@@ -130,6 +135,7 @@ class HierarchicalStore(StorageBackend):
         engine,
         levels: Sequence[StorageLevel],
         promote_on_access: bool = True,
+        delta_updates: bool = True,
         reprotect: bool = True,
         detect_delay_ns: int = 2 * NS_PER_MS,
         reprotect_scan_ns: int = 10 * NS_PER_MS,
@@ -147,6 +153,7 @@ class HierarchicalStore(StorageBackend):
         self.levels: List[StorageLevel] = list(levels)
         self.survives_node_failure = any(lv.durable for lv in levels)
         self.promote_on_access = bool(promote_on_access)
+        self.delta_updates = bool(delta_updates)
         self.detect_delay_ns = int(detect_delay_ns)
         self.reprotect_scan_ns = int(reprotect_scan_ns)
         self.max_reprotect_per_scan = int(max_reprotect_per_scan)
@@ -231,30 +238,134 @@ class HierarchicalStore(StorageBackend):
         self._evict_over_capacity()
         return max(delays)
 
-    def _schedule_writebacks(self, key: str, obj: Any, nbytes: int) -> None:
+    def store_delta(
+        self,
+        key: str,
+        obj: Any,
+        nbytes: int,
+        dirty_extents: Sequence[Tuple[int, int]],
+        now_ns: int,
+        base_key: Optional[str] = None,
+    ) -> int:
+        """Write a partially dirty update through the hierarchy.
+
+        Each write-through level whose backend has its own
+        ``store_delta`` (the erasure tier) receives an O(dirty)
+        partial-stripe update of its resident base copy; every other
+        level -- and every level when ``delta_updates`` is off or the
+        base is not resident there -- takes a plain full store, so the
+        call never requires delta support anywhere.  ``base_key``
+        (default ``key``) names the previous generation's blob; a
+        rebasing level consumes it, and the level residency follows.
+        Write-back levels get the dirty extents too, so the
+        asynchronous copy is also O(dirty) where the backend allows.
+        """
+        metrics = self._metrics()
+        base = base_key if base_key is not None else key
+        delays: List[int] = []
+        for level in self.levels:
+            if level.write != "through":
+                continue
+            delta_fn = getattr(level.backend, "store_delta", None)
+            use_delta = (
+                self.delta_updates
+                and delta_fn is not None
+                and level.backend.exists(base)
+            )
+            try:
+                if use_delta:
+                    d = delta_fn(
+                        key, obj, nbytes, dirty_extents, now_ns, base_key=base_key
+                    )
+                    metrics.inc(f"hierarchy.{level.name}.delta_writes")
+                else:
+                    d = level.backend.store(key, obj, nbytes, now_ns)
+            except StorageLostError:
+                metrics.inc("hierarchy.write_errors")
+                continue
+            delays.append(d)
+            if use_delta and base != key and not level.backend.exists(base):
+                level._resident.pop(base, None)  # rebase consumed it
+            self._mark_resident(level, key, nbytes)
+            metrics.inc(f"hierarchy.{level.name}.writes")
+            metrics.inc(f"hierarchy.{level.name}.level_bytes_written", nbytes)
+        if not delays:
+            raise StorageLostError(
+                f"no hierarchy level accepted the delta write of {key!r}"
+            )
+        self._directory[key] = nbytes
+        self.bytes_written += nbytes
+        self._schedule_writebacks(
+            key, obj, nbytes, dirty_extents=dirty_extents, base_key=base_key
+        )
+        self._evict_over_capacity()
+        return max(delays)
+
+    def _schedule_writebacks(
+        self,
+        key: str,
+        obj: Any,
+        nbytes: int,
+        dirty_extents: Optional[Sequence[Tuple[int, int]]] = None,
+        base_key: Optional[str] = None,
+    ) -> None:
         for level in self.levels:
             if level.write != "back":
                 continue
             self.engine.after(
                 level.writeback_delay_ns,
-                lambda lv=level: self._writeback(lv, key, obj, nbytes),
+                lambda lv=level: self._writeback(
+                    lv, key, obj, nbytes, dirty_extents, base_key
+                ),
                 label="hier-writeback",
             )
 
-    def _writeback(self, level: StorageLevel, key: str, obj: Any, nbytes: int) -> None:
+    def _writeback(
+        self,
+        level: StorageLevel,
+        key: str,
+        obj: Any,
+        nbytes: int,
+        dirty_extents: Optional[Sequence[Tuple[int, int]]] = None,
+        base_key: Optional[str] = None,
+    ) -> None:
         if key not in self._directory:
             return  # deleted before the copy started
-        if level.backend.exists(key):
-            return  # already there (promotion or an earlier copy)
+        base = base_key if base_key is not None else key
+        delta_fn = getattr(level.backend, "store_delta", None)
+        use_delta = (
+            self.delta_updates
+            and dirty_extents is not None
+            and delta_fn is not None
+            and level.backend.exists(base)
+        )
+        # A plain copy that already landed (promotion, earlier copy) is
+        # done; a *delta* copy must still run even though exists(key) is
+        # true -- the resident bytes are the stale base generation.
+        if not use_delta and level.backend.exists(key):
+            return
         metrics = self._metrics()
         try:
-            level.backend.store(key, obj, nbytes, self.engine.now_ns)
+            if use_delta:
+                delta_fn(
+                    key,
+                    obj,
+                    nbytes,
+                    dirty_extents,
+                    self.engine.now_ns,
+                    base_key=base_key,
+                )
+                metrics.inc(f"hierarchy.{level.name}.delta_writes")
+            else:
+                level.backend.store(key, obj, nbytes, self.engine.now_ns)
         except StorageLostError:
             # The level is degraded right now; the re-protection scan
             # retries once it recovers.
             self.writeback_failures += 1
             metrics.inc("hierarchy.writeback_failures")
             return
+        if use_delta and base != key and not level.backend.exists(base):
+            level._resident.pop(base, None)  # rebase consumed it
         self._mark_resident(level, key, nbytes)
         metrics.inc(f"hierarchy.{level.name}.writes")
         metrics.inc(f"hierarchy.{level.name}.level_bytes_written", nbytes)
