@@ -10,7 +10,13 @@ cells.  See :mod:`repro.runner.grid` for the contract.
 from .cache import DiskCache
 from .grid import Cell, GridRunner, cache_key
 from .merge import grid_to_json, merge_results
-from .parallel import ParallelResult, ProcessShardGroup, run_parallel
+from .parallel import (
+    ParallelResult,
+    ProcessShardGroup,
+    WorkerDiedError,
+    run_parallel,
+)
+from .shmtransport import ShmRing
 
 __all__ = [
     "Cell",
@@ -21,5 +27,7 @@ __all__ = [
     "grid_to_json",
     "ParallelResult",
     "ProcessShardGroup",
+    "ShmRing",
+    "WorkerDiedError",
     "run_parallel",
 ]

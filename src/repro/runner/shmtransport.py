@@ -1,0 +1,170 @@
+"""Zero-copy shared-memory transport for the parallel process backend.
+
+The pipe protocol of :mod:`repro.runner.parallel` spends its wall-clock
+pickling: every barrier, each worker pickles its ``WindowReply`` --
+envelope objects with dict payloads, one by one -- and at the end of a
+run each worker pickles every shard's full ``repro.obs`` document.  At
+fleet scale that serialization layer, not the simulation, is the
+bottleneck (the same observation the petascale C/R systems in PAPERS.md
+make about their transport layers).
+
+This module replaces the data path with shared memory while keeping the
+pipes for **control only**:
+
+* each worker gets two :class:`ShmRing` frame rings (driver->worker and
+  worker->driver) backed by ``multiprocessing.shared_memory``;
+* bulk data -- a window's batched envelope frame
+  (:class:`~repro.simkernel.parallel.EnvelopeBatch` columns + payload
+  arena) or the worker's folded obs export -- is written once into the
+  ring and never serialized;
+* the pipe carries a **doorbell**: a tiny ``(seq, offset, nbytes)``
+  tuple naming the frame.  Pipe sends/receives are syscalls, so they
+  order memory on both sides; the ring's seqlock (sequence word bumped
+  odd before the copy, even after) is a belt-and-braces check that the
+  named frame is stable when read.
+
+Fallback-to-pipe conditions (all counted by the group, none fatal):
+
+* a frame larger than the ring capacity ships as plain bytes over the
+  pipe (``*_bytes`` doorbell) -- still struct-framed, still unpickled;
+* a multiprocessing start method other than ``fork`` (the worker could
+  not inherit the segment mapping without re-attaching by name, which
+  double-registers with the resource tracker on this Python) selects
+  the pipe transport wholesale, as does an unavailable
+  ``multiprocessing.shared_memory``.
+
+The transport moves *representation*, never *content*: the receiving
+shard still sorts its batch by the canonical envelope key, so the CI
+byte-identity gates (1-vs-N shards, local-vs-process, pipe-vs-shm)
+hold unchanged.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional, Tuple
+
+from ..simkernel.parallel import ParallelError
+
+__all__ = ["ShmRing", "shm_available"]
+
+try:  # pragma: no cover - import guard exercised implicitly
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - non-CPython / stripped stdlib
+    _shared_memory = None
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` can back a ring."""
+    return _shared_memory is not None
+
+
+class ShmRing:
+    """Single-producer frame ring in one shared-memory segment.
+
+    Layout: an 8-byte little-endian sequence word, then ``capacity``
+    bytes of frame space managed as a bump allocator that wraps to 0
+    when a frame would overflow.  The lockstep verb protocol guarantees
+    at most one frame is in flight per direction, so wrapping can never
+    overwrite a frame the consumer still needs; the seqlock exists to
+    turn a protocol violation into a loud :class:`ParallelError`
+    instead of silently torn columns.
+
+    The driver creates rings (``create=True``) before forking workers;
+    under the fork start method the worker inherits the mapping -- no
+    re-attach by name, no duplicate resource-tracker registration, and
+    exactly one owner to ``unlink`` the segment.
+    """
+
+    _SEQ = struct.Struct("<Q")
+    HEADER_BYTES = _SEQ.size
+
+    def __init__(self, capacity: int, name: str = "") -> None:
+        if not shm_available():  # pragma: no cover - guarded by callers
+            raise ParallelError("multiprocessing.shared_memory unavailable")
+        if capacity <= 0:
+            raise ParallelError("ring capacity must be positive")
+        self.capacity = int(capacity)
+        self.name = name
+        self._shm = _shared_memory.SharedMemory(
+            create=True, size=self.HEADER_BYTES + self.capacity
+        )
+        self._SEQ.pack_into(self._shm.buf, 0, 0)
+        self._seq = 0
+        self._cursor = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def write_frame(
+        self, nbytes: int, fill: Callable[[memoryview], int]
+    ) -> Optional[Tuple[int, int]]:
+        """Reserve ``nbytes``, let ``fill`` write them, publish.
+
+        Returns the ``(seq, offset)`` doorbell to send over the pipe,
+        or ``None`` when the frame cannot fit -- the caller then falls
+        back to shipping the same bytes through the pipe.
+        """
+        nbytes = int(nbytes)
+        if nbytes > self.capacity:
+            return None
+        if self._cursor + nbytes > self.capacity:
+            self._cursor = 0
+        off = self._cursor
+        buf = self._shm.buf
+        self._SEQ.pack_into(buf, 0, self._seq + 1)  # odd: write in progress
+        start = self.HEADER_BYTES + off
+        fill(memoryview(buf)[start:start + nbytes])
+        self._seq += 2
+        self._SEQ.pack_into(buf, 0, self._seq)  # even: stable
+        self._cursor = off + nbytes
+        return self._seq, off
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def read_frame(self, seq: int, offset: int, nbytes: int) -> bytes:
+        """Snapshot the frame a doorbell named.
+
+        The copy (one ``memcpy`` of the packed frame) is deliberate:
+        the slot is reused next window, so views must not outlive the
+        call.  The seqlock is checked *after* the copy -- a mismatch
+        means the producer wrote concurrently and the snapshot may be
+        torn, which is a protocol violation worth dying loudly over.
+        """
+        start = self.HEADER_BYTES + int(offset)
+        if offset < 0 or start + nbytes > self.HEADER_BYTES + self.capacity:
+            raise ParallelError(
+                f"frame [{offset}, {offset + nbytes}) outside ring "
+                f"capacity {self.capacity}"
+            )
+        data = bytes(self._shm.buf[start:start + nbytes])
+        (current,) = self._SEQ.unpack_from(self._shm.buf, 0)
+        if current != seq:
+            raise ParallelError(
+                f"torn shared-memory frame: doorbell seq {seq}, ring seq "
+                f"{current} (producer wrote during the read)"
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    def close(self, unlink: bool = False) -> None:
+        """Drop this process's mapping; ``unlink`` destroys the segment
+        (creator only).  Safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a view still alive
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ShmRing {self.name or self._shm.name} "
+                f"cap={self.capacity} seq={self._seq}>")

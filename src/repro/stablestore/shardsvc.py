@@ -93,10 +93,16 @@ class ShardStorageService:
             for s in range(self.n_servers)
             if server_home_shard(s, ctx.n_shards) == ctx.shard_id
         }
+        # Metric objects are resolved once here; the request/ack hot
+        # path records through these references instead of a registry
+        # name lookup per request.
         m = ctx.engine.metrics
         self._requests = m.counter("sstore.requests")
         self._acks = m.counter("sstore.acks")
         self._req_bytes = m.counter("sstore.req_bytes")
+        self._service_hist = m.histogram("sstore.service_ns")
+        self._queue_hist = m.histogram("sstore.queue_ns")
+        self._rtt_hist = m.histogram("sstore.rtt_ns")
         ctx.on(REQ_KIND, self._on_request)
         ctx.on(ACK_KIND, self._on_ack)
 
@@ -148,9 +154,8 @@ class ShardStorageService:
         self.busy_until[server] = finish
         self._requests.inc()
         self._req_bytes.inc(payload["bytes"])
-        m = self.ctx.engine.metrics
-        m.observe("sstore.service_ns", service)
-        m.observe("sstore.queue_ns", start - now)
+        self._service_hist.observe(service)
+        self._queue_hist.observe(start - now)
         # (finish - now) >= service >= 0, plus the propagation floor:
         # the ack delay always satisfies the lookahead.
         self.ctx.send(
@@ -167,9 +172,7 @@ class ShardStorageService:
 
     def _on_ack(self, payload: Dict[str, Any]) -> None:
         self._acks.inc()
-        self.ctx.engine.metrics.observe(
-            "sstore.rtt_ns", self.ctx.engine.now_ns - payload["sent_ns"]
-        )
+        self._rtt_hist.observe(self.ctx.engine.now_ns - payload["sent_ns"])
 
     # ------------------------------------------------------------------
     def acked(self) -> int:

@@ -125,3 +125,36 @@ def test_validate_rejects_malformed_documents():
     bad["metrics"]["counters"]["c"] = 1.5  # non-int counter
     with pytest.raises(ObservabilityError):
         validate_export(bad)
+
+
+class TestObserveMany:
+    """Batched histogram recording must equal one-at-a-time recording
+    exactly -- the window driver renders barrier tallies through it."""
+
+    def test_matches_repeated_observe_including_floats(self):
+        from repro.obs import Histogram
+
+        values = [0, 1, 999, 1_000, 5.5, 10**12, 3, 1_000_000, 0.25]
+        one = Histogram("h_ns", buckets=(1, 1_000, 1_000_000))
+        for v in values:
+            one.observe(v)
+        many = Histogram("h_ns", buckets=(1, 1_000, 1_000_000))
+        many.observe_many(values)
+        # Same float accumulation order: to_dict is equal bit-for-bit.
+        assert many.to_dict() == one.to_dict()
+
+    def test_empty_batch_is_a_noop(self):
+        from repro.obs import Histogram
+
+        h = Histogram("h", buckets=(1, 2))
+        h.observe_many([])
+        assert h.count == 0 and h.min is None
+
+    def test_registry_observe_many(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.observe_many("lat_ns", [100, 2_000_000])
+        reg.observe("lat_ns", 7)
+        h = reg.get("lat_ns")
+        assert h.count == 3 and h.sum == 2_000_107
